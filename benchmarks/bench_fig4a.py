@@ -1,0 +1,27 @@
+"""Figure 4(a): F1 of L-Star, RPNI, GLADE-P1, and GLADE per target.
+
+Scaled down from the paper (50 seeds, 1000 eval samples, 300 s timeout,
+5 runs) to 10 seeds / 150 samples / 20 s / 1 run so the bench completes
+in about a minute. Shape to reproduce: GLADE ≈ GLADE-P1 >> L-Star ≈
+RPNI on every target, with GLADE ≥ GLADE-P1.
+"""
+
+from repro.evaluation.fig4 import format_fig4ab, run_fig4ab
+
+
+def bench_params():
+    return dict(n_seeds=10, time_limit=20.0, eval_samples=150, runs=1)
+
+
+def test_fig4a_f1_table(once):
+    cells = once(run_fig4ab, **bench_params())
+    print()
+    print(format_fig4ab(cells))
+    by_key = {(c.target, c.algorithm): c for c in cells}
+    for target in ["url", "grep", "lisp", "xml"]:
+        glade = by_key[(target, "glade")]
+        lstar = by_key[(target, "lstar")]
+        rpni = by_key[(target, "rpni")]
+        # The paper's headline ordering.
+        assert glade.f1 >= lstar.f1 - 0.05, target
+        assert glade.f1 >= rpni.f1 - 0.05, target

@@ -1,0 +1,27 @@
+"""Figure 4(b): running time of the four §8.2 algorithms.
+
+The paper's observation: L-Star and RPNI run for minutes (or time out)
+while GLADE finishes in seconds, and GLADE is *faster* than GLADE-P1
+thanks to the §6.1 seed-skipping optimization compounding with better
+generalization. Scaled: 10 seeds, 15 s cap.
+"""
+
+from repro.evaluation.fig4 import format_fig4ab, run_fig4ab
+
+
+def test_fig4b_running_time(once):
+    cells = once(
+        run_fig4ab,
+        n_seeds=10,
+        time_limit=15.0,
+        eval_samples=60,
+        runs=1,
+    )
+    print()
+    print(format_fig4ab(cells))
+    by_key = {(c.target, c.algorithm): c for c in cells}
+    for target in ["url", "grep", "lisp", "xml"]:
+        glade = by_key[(target, "glade")]
+        # GLADE must come in well under the baselines' budget.
+        assert glade.seconds < 15.0, target
+        assert not glade.timed_out, target

@@ -1,0 +1,19 @@
+"""Figure 5: example synthesized grammars for four simplified targets.
+
+Full-fidelity (the paper's figure is qualitative): each simplified
+target is learned from its representative seeds and the grammar printed.
+The XML row must show the recursive merge (its non-regular production).
+"""
+
+from repro.evaluation.fig5 import format_fig5, run_fig5
+
+
+def test_fig5_example_grammars(once):
+    rows = once(run_fig5)
+    print()
+    print(format_fig5(rows))
+    assert [r.name for r in rows] == ["URL", "Grep", "Lisp", "XML"]
+    xml_row = rows[-1]
+    assert xml_row.result.phase2_result.merged_pairs()
+    grep_row = rows[1]
+    assert grep_row.result.phase2_result.merged_pairs()

@@ -1,0 +1,25 @@
+"""Figure 6: per-program LoC, seed lines, and GLADE synthesis time.
+
+Full-fidelity on our substituted subjects (DESIGN.md §2): all eight
+programs, real synthesis runs. Shape to reproduce: the interpreter
+front-ends (ruby, python, javascript) dominate synthesis time, as in
+the paper's minutes-vs-hours split.
+"""
+
+from repro.evaluation.fig6 import format_fig6, run_fig6
+
+
+def test_fig6_program_table(once):
+    rows = once(run_fig6)
+    print()
+    print(format_fig6(rows))
+    by_name = {r.program: r for r in rows}
+    assert len(rows) == 8
+    frontend_time = sum(
+        by_name[n].synthesis_seconds
+        for n in ("ruby", "python", "javascript")
+    )
+    utility_time = sum(
+        by_name[n].synthesis_seconds for n in ("sed", "grep")
+    )
+    assert frontend_time > utility_time

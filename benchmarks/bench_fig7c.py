@@ -1,0 +1,20 @@
+"""Figure 7(c): coverage growth with the number of samples (python).
+
+Shape to reproduce: GLADE finds high-coverage valid inputs quickly and
+keeps growing; the naive fuzzer's valid coverage flattens early.
+"""
+
+from repro.evaluation.fig7 import format_fig7c, run_fig7c
+
+
+def test_fig7c_coverage_over_time(once):
+    series = once(
+        run_fig7c,
+        subject_name="python",
+        checkpoints=(100, 250, 500, 1000),
+    )
+    print()
+    print(format_fig7c(series))
+    glade = series["glade"]
+    # Monotone non-decreasing growth in samples.
+    assert all(b >= a - 1e-9 for a, b in zip(glade, glade[1:]))

@@ -1,0 +1,16 @@
+"""Figure 8: a valid sample from the synthesized XML grammar.
+
+Full-fidelity qualitative figure: learn the XML subject's grammar and
+print a large valid fuzzed document (nested tags / attributes /
+comments / PIs survive into generated inputs).
+"""
+
+from repro.evaluation.fig8 import format_fig8, run_fig8
+
+
+def test_fig8_sample(once):
+    result = once(run_fig8, n_candidates=250)
+    print()
+    print(format_fig8(result))
+    assert result.valid
+    assert "<" in result.sample

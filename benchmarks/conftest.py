@@ -1,0 +1,26 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (documented per bench; paper-scale runs are available via
+each harness's ``main()`` CLI with ``--paper-scale``). The benchmarked
+quantity is the harness's wall-clock; the table itself is printed once
+so ``pytest benchmarks/ --benchmark-only -s`` reproduces the numbers
+recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,73 @@
+"""GLADE reproduction: synthesizing program input grammars (PLDI 2017).
+
+Public API
+----------
+
+The canonical workflow mirrors the paper's Figure 1 example::
+
+    from repro import learn_grammar, GrammarSampler
+
+    def oracle(text: str) -> bool:      # blackbox program access
+        return my_program_accepts(text)
+
+    result = learn_grammar(["<a>hi</a>"], oracle)
+    print(result.grammar)               # synthesized CFG
+    sampler = GrammarSampler(result.grammar)
+    print(sampler.sample())             # random valid-ish input
+
+For fuzzing (§8.3), combine the learned grammar with
+:class:`repro.fuzzing.GrammarFuzzer`.
+"""
+
+from repro.core.glade import (
+    DEFAULT_ALPHABET,
+    GladeConfig,
+    GladeResult,
+    learn_grammar,
+)
+from repro.languages.cfg import (
+    CharSet,
+    Grammar,
+    Nonterminal,
+    ParseTree,
+    Production,
+)
+from repro.languages.earley import parse, recognize
+from repro.languages.sampler import GrammarSampler, sample_regex
+from repro.learning.oracle import (
+    BudgetOracle,
+    CachingOracle,
+    CountingOracle,
+    Oracle,
+    OracleBudgetExceeded,
+    grammar_oracle,
+    program_oracle,
+    regex_oracle,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BudgetOracle",
+    "CachingOracle",
+    "CharSet",
+    "CountingOracle",
+    "DEFAULT_ALPHABET",
+    "GladeConfig",
+    "GladeResult",
+    "Grammar",
+    "GrammarSampler",
+    "Nonterminal",
+    "Oracle",
+    "OracleBudgetExceeded",
+    "ParseTree",
+    "Production",
+    "grammar_oracle",
+    "learn_grammar",
+    "parse",
+    "program_oracle",
+    "recognize",
+    "regex_oracle",
+    "sample_regex",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Finite automata: DFAs, determinization, minimization, equivalence."""
+
+from repro.automata.determinize import nfa_to_dfa, regex_to_dfa
+from repro.automata.dfa import DFA, dfa_from_table
+
+__all__ = ["DFA", "dfa_from_table", "nfa_to_dfa", "regex_to_dfa"]

@@ -1,0 +1,52 @@
+"""Subset construction: regex/NFA → DFA.
+
+Used to build exact reference DFAs for regular target languages, which
+gives the unit tests a *perfect* equivalence oracle for L-Star (the
+paper's experiments use the sampling approximation instead, §8.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.automata.dfa import DFA
+from repro.languages import regex as rx
+from repro.languages.nfa_match import NFA, compile_regex
+
+
+def nfa_to_dfa(nfa: NFA, alphabet: Iterable[str]) -> DFA:
+    """Determinize ``nfa`` over ``alphabet`` via subset construction."""
+    alphabet = frozenset(alphabet)
+    start_set = nfa.eps_closure(frozenset((nfa.start,)))
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    transitions: Dict[Tuple[int, str], int] = {}
+    accepting = set()
+    queue = deque([start_set])
+    while queue:
+        current = queue.popleft()
+        state = index[current]
+        if nfa.accept in current:
+            accepting.add(state)
+        for char in alphabet:
+            moved = nfa.step(current, char)
+            if not moved:
+                continue
+            if moved not in index:
+                index[moved] = len(index)
+                queue.append(moved)
+            transitions[(state, char)] = index[moved]
+    return DFA(alphabet, set(index.values()), 0, accepting, transitions)
+
+
+def regex_to_dfa(
+    expr: rx.Regex, alphabet: Optional[Iterable[str]] = None
+) -> DFA:
+    """Compile a regex to a minimal DFA.
+
+    ``alphabet`` defaults to the characters appearing in the expression;
+    pass a larger alphabet if membership of other characters matters
+    (they are rejected either way, but the DFA records the alphabet).
+    """
+    chars = frozenset(alphabet) if alphabet is not None else expr.alphabet()
+    return nfa_to_dfa(compile_regex(expr), chars).minimize()

@@ -1,0 +1,54 @@
+"""GLADE's grammar-synthesis algorithm (the paper's core contribution)."""
+
+from repro.core.chargen import generalize_characters
+from repro.core.context import Context
+from repro.core.glade import (
+    DEFAULT_ALPHABET,
+    GladeConfig,
+    GladeResult,
+    learn_grammar,
+)
+from repro.core.gtree import (
+    GAlt,
+    GConcat,
+    GConst,
+    GHole,
+    GNode,
+    GRoot,
+    GStar,
+    HoleKind,
+    constants_of,
+    holes_of,
+    stars_of,
+)
+from repro.core.phase1 import Phase1Result, StepRecord, synthesize_regex
+from repro.core.phase2 import MergeRecord, Phase2Result, merge_repetitions
+from repro.core.translate import star_nonterminal, translate_trees
+
+__all__ = [
+    "Context",
+    "DEFAULT_ALPHABET",
+    "GAlt",
+    "GConcat",
+    "GConst",
+    "GHole",
+    "GNode",
+    "GRoot",
+    "GStar",
+    "GladeConfig",
+    "GladeResult",
+    "HoleKind",
+    "MergeRecord",
+    "Phase1Result",
+    "Phase2Result",
+    "StepRecord",
+    "constants_of",
+    "generalize_characters",
+    "holes_of",
+    "learn_grammar",
+    "merge_repetitions",
+    "star_nonterminal",
+    "stars_of",
+    "synthesize_regex",
+    "translate_trees",
+]

@@ -1,0 +1,38 @@
+"""Contexts (γ, δ) for GLADE's check construction (§4.3).
+
+A context captures the part of the current language surrounding a
+bracketed substring: if ``[α]_τ`` has context ``(γ, δ)``, then for any
+replacement string α′ the string ``γ·α′·δ`` lies in the language obtained
+by substituting α′ for the bracketed substring (property (1) of the
+paper, proved in Appendix A.2). Checks are residual strings wrapped in
+their context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Context:
+    """An immutable pair of flanking strings (γ, δ)."""
+
+    left: str = ""
+    right: str = ""
+
+    def wrap(self, inner: str) -> str:
+        """Return γ·inner·δ — a candidate check string."""
+        return self.left + inner + self.right
+
+    def extend(self, pre: str, post: str) -> "Context":
+        """Return the inner context (γ·pre, post·δ).
+
+        Phase one's context propagation rules (§4.3) are all instances of
+        this: e.g. the context for ``[α₂]_alt`` inside the candidate
+        ``α₁([α₂]_alt)*[α₃]_rep`` is ``(γα₁, α₃δ)`` =
+        ``context.extend(α₁, α₃)``.
+        """
+        return Context(self.left + pre, post + self.right)
+
+    def __str__(self) -> str:
+        return "({!r}, {!r})".format(self.left, self.right)

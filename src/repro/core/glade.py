@@ -1,0 +1,157 @@
+"""GLADE's top level: Algorithm 1 plus the extensions of §6.
+
+:func:`learn_grammar` is the public entry point of this reproduction. It
+takes seed inputs and a membership oracle and returns a
+:class:`GladeResult` holding the synthesized context-free grammar
+together with per-seed regexes, merge information, and query statistics.
+
+Pipeline (matching §7's discussion of phase ordering):
+
+1. **Phase one** per seed — regular-expression synthesis (§4); a seed
+   already in the language of the previously learned regexes is skipped
+   (the §6.1 optimization).
+2. **Character generalization** per seed (§6.2).
+3. **Translation** of all per-seed trees into one grammar with a
+   top-level alternation (§5.1, §6.1).
+4. **Phase two** — repetition-subexpression merging across seeds (§5).
+"""
+
+from __future__ import annotations
+
+import string
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.chargen import generalize_characters
+from repro.core.gtree import GRoot, stars_of
+from repro.core.phase1 import Phase1Result, synthesize_regex
+from repro.core.phase2 import Phase2Result, merge_repetitions
+from repro.core.translate import translate_trees
+from repro.languages import regex as rx
+from repro.languages.cfg import Grammar
+from repro.languages.nfa_match import compile_regex
+from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
+
+#: Default input alphabet Σ for character generalization: printable
+#: ASCII (the paper's setting: programs take ASCII inputs, §2).
+DEFAULT_ALPHABET = (
+    string.ascii_letters + string.digits + string.punctuation + " "
+)
+
+
+@dataclass
+class GladeConfig:
+    """Tunable knobs; the defaults reproduce the paper's algorithm.
+
+    ``enable_phase2=False`` gives the "P1" ablation of Figure 4 (GLADE
+    restricted to regular languages); ``enable_chargen=False`` gives the
+    character-generalization ablation discussed in §8.2.
+    """
+
+    enable_phase2: bool = True
+    enable_chargen: bool = True
+    alphabet: str = DEFAULT_ALPHABET
+    skip_covered_seeds: bool = True
+    record_trace: bool = False
+    #: Extended merge checks (see repro.core.phase2); False gives the
+    #: paper's literal two checks — exposed for the ablation bench.
+    mixed_merge_checks: bool = True
+
+
+@dataclass
+class GladeResult:
+    """Everything GLADE learned, plus bookkeeping for the evaluation."""
+
+    grammar: Grammar
+    regexes: List[rx.Regex]
+    trees: List[GRoot]
+    seeds_used: List[str]
+    seeds_skipped: List[str]
+    phase1_results: List[Phase1Result]
+    phase2_result: Optional[Phase2Result]
+    oracle_queries: int
+    unique_queries: int
+    duration_seconds: float
+
+    def regex(self) -> rx.Regex:
+        """The combined phase-one regex R̂ = R̂₁ + ... + R̂ₙ."""
+        if not self.regexes:
+            return rx.EPSILON
+        if len(self.regexes) == 1:
+            return self.regexes[0]
+        return rx.alt(*self.regexes)
+
+
+def learn_grammar(
+    seeds: Sequence[str],
+    oracle: Oracle,
+    config: Optional[GladeConfig] = None,
+) -> GladeResult:
+    """Synthesize a context-free grammar from seeds and a membership oracle.
+
+    Raises ValueError if a seed is rejected by the oracle (the paper
+    requires E_in ⊆ L*).
+    """
+    if not seeds:
+        raise ValueError("learn_grammar requires at least one seed input")
+    config = config if config is not None else GladeConfig()
+    counting = CountingOracle(oracle)
+    cached = CachingOracle(counting)
+    started = time.perf_counter()
+
+    trees: List[GRoot] = []
+    phase1_results: List[Phase1Result] = []
+    regexes: List[rx.Regex] = []
+    matchers = []  # compiled NFAs of the regexes learned so far
+    seeds_used: List[str] = []
+    seeds_skipped: List[str] = []
+
+    for seed in seeds:
+        if not cached(seed):
+            raise ValueError(
+                "seed input rejected by the oracle: {!r}".format(seed)
+            )
+        if config.skip_covered_seeds and any(
+            matcher(seed) for matcher in matchers
+        ):
+            seeds_skipped.append(seed)
+            continue
+        result = synthesize_regex(
+            seed, cached, record_trace=config.record_trace
+        )
+        if config.enable_chargen:
+            generalize_characters(result.root, cached, config.alphabet)
+        trees.append(result.root)
+        phase1_results.append(result)
+        learned = result.root.to_regex()
+        regexes.append(learned)
+        matchers.append(compile_regex(learned).matches)
+        seeds_used.append(seed)
+
+    grammar = translate_trees(trees)
+    phase2_result: Optional[Phase2Result] = None
+    if config.enable_phase2:
+        stars = [star for tree in trees for star in stars_of(tree)]
+        phase2_result = merge_repetitions(
+            grammar,
+            stars,
+            cached,
+            record_trace=config.record_trace,
+            mixed_checks=config.mixed_merge_checks,
+        )
+        grammar = phase2_result.grammar
+    grammar = grammar.restricted_to_reachable()
+
+    return GladeResult(
+        grammar=grammar,
+        regexes=regexes,
+        trees=trees,
+        seeds_used=seeds_used,
+        seeds_skipped=seeds_skipped,
+        phase1_results=phase1_results,
+        phase2_result=phase2_result,
+        oracle_queries=counting.queries,
+        unique_queries=cached.unique_queries,
+        duration_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,226 @@
+"""Phase two: merging repetition subexpressions (paper §5).
+
+Every unordered pair of repetition subexpressions (GStar nodes — across
+*all* seeds, per §6.1) is a merge candidate. For the pair (i, j), phase
+two constructs the §5.3 checks:
+
+- γᵢ·(α₂ⱼ α₂ⱼ)·δᵢ — the residual of star j's repetition string, wrapped
+  in star i's context: "can R′ be substituted for R?";
+- γⱼ·(α₂ᵢ α₂ᵢ)·δⱼ — symmetrically.
+
+**Reproduction note (documented deviation, DESIGN.md §6).** We extend
+these with *mixed-adjacency* residuals — α₂ᵢα₂ⱼ and α₂ⱼα₂ᵢ in both
+contexts. A merged star generates interleavings of the two units that
+the paper's two checks never probe; empirically (see
+``benchmarks/bench_ablations.py``) the two-check rule makes phase two
+*reduce* precision on the §8.2 targets, inverting the paper's
+GLADE ≥ P1 ordering, while the mixed checks restore it. The extension
+is conservative in the paper's own sense: every check lies in
+L̃ \\ L̂ (Proposition 5.1 gives L(PRR′Q) ⊆ L(C̃) by the same argument),
+so it only *rejects more* candidates — monotonicity and expressiveness
+(Proposition 5.3) are unaffected, since matching-parentheses merges
+pass mixed checks (their interleavings are valid by construction).
+
+If all checks pass, the two stars' nonterminals are equated
+(union-find; equating can only enlarge the language, so candidates are
+monotone). Each pair is considered exactly once. Merging is what lets
+GLADE express the generalized matching-parentheses grammars of
+Definition 5.2 — e.g. turning the XML example's
+``(<a>(h+i)*</a>)*`` into ``A → (<a>A</a>)* | (h+i)*``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.gtree import GStar
+from repro.core.translate import star_nonterminal
+from repro.languages import regex as rx
+from repro.languages.cfg import Grammar, Nonterminal
+from repro.languages.sampler import sample_regex
+from repro.learning.oracle import Oracle
+
+
+@dataclass
+class MergeRecord:
+    """Trace of one considered merge candidate (for tests/debugging)."""
+
+    star_i: int
+    star_j: int
+    checks: Tuple[str, ...]
+    merged: bool
+
+
+@dataclass
+class Phase2Result:
+    """Outcome of the merging phase."""
+
+    grammar: Grammar
+    representative: Dict[int, int]
+    records: List[MergeRecord] = field(default_factory=list)
+
+    def merged_pairs(self) -> List[Tuple[int, int]]:
+        return [(r.star_i, r.star_j) for r in self.records if r.merged]
+
+
+class _UnionFind:
+    def __init__(self, items: Sequence[int]):
+        self.parent = {item: item for item in items}
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # Keep the smaller id as representative for deterministic naming.
+        lo, hi = min(ra, rb), max(ra, rb)
+        self.parent[hi] = lo
+
+
+def _boundary_string(node: rx.Regex, pick) -> str:
+    """A deterministic member of L(node) choosing extreme characters.
+
+    ``pick`` selects from a character set (min or max); stars contribute
+    one iteration; alternations take their first/last option. Character
+    classes are where character generalization widened the language, so
+    their extremes (e.g. space vs letters) are the residuals most likely
+    to expose an unsound merge.
+    """
+    if isinstance(node, (rx.Epsilon, rx.EmptySet)):
+        return ""
+    if isinstance(node, rx.Lit):
+        return node.text
+    if isinstance(node, rx.CharClass):
+        return pick(node.chars)
+    if isinstance(node, rx.Concat):
+        return "".join(_boundary_string(p, pick) for p in node.parts)
+    if isinstance(node, rx.Alt):
+        options = node.options
+        option = options[0] if pick is min else options[-1]
+        return _boundary_string(option, pick)
+    if isinstance(node, rx.Star):
+        return _boundary_string(node.inner, pick)
+    raise TypeError("unknown regex node: {!r}".format(node))
+
+
+def _star_residuals(star: GStar, n_samples: int) -> List[str]:
+    """Residual strings ρ ∈ L(R) for a repetition subexpression.
+
+    §5.3 requires residuals from the *generalized* language L(R′) — the
+    creation-time repetition string α₂ is one member, but by merge time
+    character generalization may have widened R′ well beyond it (e.g. a
+    comment-body star admits spaces that α₂ never showed). We therefore
+    add the min/max boundary members of the current inner language plus
+    a few random samples (deterministically seeded by the star id), so
+    the checks see what the merge would actually inject.
+    """
+    residuals = [star.rep_string]
+
+    def add(candidate: str) -> None:
+        if candidate and candidate not in residuals:
+            residuals.append(candidate)
+
+    if n_samples > 0:
+        inner = star.inner.to_regex()
+        add(_boundary_string(inner, min))
+        add(_boundary_string(inner, max))
+        rng = random.Random(star.star_id * 7919 + 13)
+        for _ in range(n_samples):
+            add(sample_regex(inner, rng, max_reps=2))
+    return residuals
+
+
+def merge_checks(
+    star_i: GStar,
+    star_j: GStar,
+    mixed: bool = True,
+    n_samples: int = 2,
+) -> Tuple[str, ...]:
+    """The §5.3 substitution checks, plus mixed-adjacency residuals.
+
+    ``mixed=False`` with ``n_samples=0`` gives the paper's literal two
+    checks (used by the merge-check ablation bench).
+    """
+    res_i = _star_residuals(star_i, n_samples)
+    res_j = _star_residuals(star_j, n_samples)
+    checks = []
+    # Paper checks: the other star's doubled residuals in each context.
+    for r in res_j:
+        checks.append(star_i.context.wrap(r + r))
+    for r in res_i:
+        checks.append(star_j.context.wrap(r + r))
+    if mixed:
+        # Interleavings the merged star newly generates.
+        for ri in res_i[: 1 + n_samples]:
+            for rj in res_j[: 1 + n_samples]:
+                checks.append(star_i.context.wrap(ri + rj))
+                checks.append(star_i.context.wrap(rj + ri))
+                checks.append(star_j.context.wrap(ri + rj))
+                checks.append(star_j.context.wrap(rj + ri))
+    # Deduplicate, preserving order.
+    seen = set()
+    unique = []
+    for check in checks:
+        if check not in seen:
+            seen.add(check)
+            unique.append(check)
+    return tuple(unique)
+
+
+def merge_repetitions(
+    grammar: Grammar,
+    stars: Sequence[GStar],
+    oracle: Oracle,
+    record_trace: bool = False,
+    mixed_checks: bool = True,
+) -> Phase2Result:
+    """Run phase two: try every pair of stars, equate those that check out."""
+    result = Phase2Result(grammar=grammar, representative={})
+    ids = sorted(star.star_id for star in stars)
+    by_id = {star.star_id: star for star in stars}
+    uf = _UnionFind(ids)
+    for index, i in enumerate(ids):
+        for j in ids[index + 1 :]:
+            if uf.find(i) == uf.find(j):
+                # Already equated transitively; the pair is still removed
+                # from M (each candidate considered at most once).
+                continue
+            checks = merge_checks(
+                by_id[i],
+                by_id[j],
+                mixed=mixed_checks,
+                n_samples=2 if mixed_checks else 0,
+            )
+            merged = all(oracle(check) for check in checks)
+            if merged:
+                uf.union(i, j)
+            if record_trace:
+                result.records.append(
+                    MergeRecord(
+                        star_i=i,
+                        star_j=j,
+                        checks=checks,
+                        merged=merged,
+                    )
+                )
+    representative = {i: uf.find(i) for i in ids}
+    mapping: Dict[Nonterminal, Nonterminal] = {
+        star_nonterminal(i): star_nonterminal(rep)
+        for i, rep in representative.items()
+        if rep != i
+    }
+    merged_grammar = (
+        grammar.rename_nonterminals(mapping) if mapping else grammar
+    )
+    result.grammar = merged_grammar
+    result.representative = representative
+    return result

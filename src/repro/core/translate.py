@@ -1,0 +1,122 @@
+"""Translating the phase-one result to a context-free grammar (§5.1).
+
+The paper's translation introduces a nonterminal per generalization step;
+what phase two actually needs is (a) one nonterminal ``A'_i`` per
+*repetition subexpression*, expanded left-recursively as
+``A'_i → ε | A'_i A_inner`` (the paper's repetition productions), and
+(b) nonterminals for alternations so merged grammars remain well-formed.
+Constants and concatenations are inlined into production bodies, which
+keeps synthesized grammars close to the compact form shown in Figure 5
+without changing the generated language.
+
+Star nonterminals are named ``R<id>`` after their tree node's
+``star_id``; phase two (:mod:`repro.core.phase2`) merges classes of these
+by renaming.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence, Tuple
+
+from repro.core.gtree import (
+    GAlt,
+    GConcat,
+    GConst,
+    GHole,
+    GNode,
+    GRoot,
+    GStar,
+)
+from repro.languages.cfg import (
+    CharSet,
+    Grammar,
+    Nonterminal,
+    Production,
+    Symbol,
+)
+
+
+def star_nonterminal(star_id: int) -> Nonterminal:
+    """The nonterminal naming convention for repetition subexpressions."""
+    return Nonterminal("R{}".format(star_id))
+
+
+def translate_trees(
+    roots: Sequence[GRoot], start_name: str = "S"
+) -> Grammar:
+    """Translate generalization trees into one grammar.
+
+    With several roots (the multi-seed extension, §6.1) the start symbol
+    gets one production per root — the top-level alternation
+    ``R̂ = R̂₁ + ... + R̂ₙ``.
+    """
+    productions: List[Production] = []
+    alt_counter = itertools.count()
+
+    def body_of(node: GNode) -> Tuple[Symbol, ...]:
+        if isinstance(node, GConst):
+            return _const_symbols(node)
+        if isinstance(node, GConcat):
+            symbols: List[Symbol] = []
+            for child in node.children:
+                symbols.extend(body_of(child))
+            return _fuse_literals(symbols)
+        if isinstance(node, GAlt):
+            head = Nonterminal("A{}".format(next(alt_counter)))
+            for child in node.children:
+                productions.append(Production(head, body_of(child)))
+            return (head,)
+        if isinstance(node, GStar):
+            head = star_nonterminal(node.star_id)
+            inner = body_of(node.inner)
+            productions.append(Production(head, ()))
+            productions.append(Production(head, (head,) + inner))
+            return (head,)
+        if isinstance(node, GHole):
+            raise ValueError(
+                "cannot translate a tree with unexpanded holes: {!r}".format(
+                    node
+                )
+            )
+        raise TypeError("unknown tree node: {!r}".format(node))
+
+    start = Nonterminal(start_name)
+    for root in roots:
+        if not root.children:
+            productions.append(Production(start, ()))
+        else:
+            productions.append(Production(start, body_of(root.children[0])))
+    return Grammar(start, productions)
+
+
+def _const_symbols(const: GConst) -> Tuple[Symbol, ...]:
+    """Render a constant as literal runs interleaved with CharSets."""
+    symbols: List[Symbol] = []
+    run: List[str] = []
+    for chars in const.classes:
+        if len(chars) == 1:
+            run.append(next(iter(chars)))
+        else:
+            if run:
+                symbols.append("".join(run))
+                run = []
+            symbols.append(CharSet(frozenset(chars)))
+    if run:
+        symbols.append("".join(run))
+    return tuple(symbols)
+
+
+def _fuse_literals(symbols: List[Symbol]) -> Tuple[Symbol, ...]:
+    """Concatenate adjacent literal strings for readability."""
+    fused: List[Symbol] = []
+    for symbol in symbols:
+        if (
+            fused
+            and isinstance(symbol, str)
+            and isinstance(fused[-1], str)
+        ):
+            fused[-1] = fused[-1] + symbol
+        else:
+            fused.append(symbol)
+    return tuple(fused)

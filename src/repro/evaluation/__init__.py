@@ -1,0 +1,21 @@
+"""Evaluation harnesses: one module per figure of the paper's §8."""
+
+from repro.evaluation.metrics import (
+    DFAView,
+    EvalScores,
+    GrammarView,
+    LanguageView,
+    estimate_precision,
+    estimate_recall,
+    evaluate_language,
+)
+
+__all__ = [
+    "DFAView",
+    "EvalScores",
+    "GrammarView",
+    "LanguageView",
+    "estimate_precision",
+    "estimate_recall",
+    "evaluate_language",
+]

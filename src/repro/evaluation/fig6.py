@@ -1,0 +1,79 @@
+"""Figure 6: per-program statistics (§8.3).
+
+For each of the eight programs: lines of (parser) code, lines across the
+seed inputs E_in, and GLADE's grammar-synthesis time. The paper reports
+minutes on real binaries; ours are seconds on the mini-subjects — the
+table's *shape* (larger/more seeds → longer synthesis; front-ends are
+the expensive subjects) is the reproduction target (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.glade import GladeConfig, GladeResult, learn_grammar
+from repro.evaluation.reporting import format_table
+from repro.programs import SUBJECT_NAMES, get_subject
+
+
+@dataclass
+class Fig6Row:
+    program: str
+    loc: int
+    seed_lines: int
+    synthesis_seconds: float
+    oracle_queries: int
+    result: GladeResult
+
+
+def learn_subject_grammar(
+    subject, config: Optional[GladeConfig] = None
+) -> GladeResult:
+    """Run GLADE on a program under test (shared by Figures 6-8)."""
+    if config is None:
+        config = GladeConfig(alphabet=subject.alphabet)
+    return learn_grammar(subject.seeds, subject.accepts, config)
+
+
+def run_fig6(
+    subjects: Sequence[str] = tuple(SUBJECT_NAMES),
+) -> List[Fig6Row]:
+    rows = []
+    for name in subjects:
+        subject = get_subject(name)
+        started = time.perf_counter()
+        result = learn_subject_grammar(subject)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            Fig6Row(
+                program=name,
+                loc=subject.loc(),
+                seed_lines=subject.seed_line_count(),
+                synthesis_seconds=elapsed,
+                oracle_queries=result.oracle_queries,
+                result=result,
+            )
+        )
+    return rows
+
+
+def format_fig6(rows: Sequence[Fig6Row]) -> str:
+    headers = ["program", "LoC", "lines in E_in", "time (s)", "queries"]
+    table_rows = [
+        [r.program, r.loc, r.seed_lines, r.synthesis_seconds,
+         r.oracle_queries]
+        for r in rows
+    ]
+    return "Figure 6: program statistics and GLADE synthesis time\n" + (
+        format_table(headers, table_rows)
+    )
+
+
+def main() -> None:
+    print(format_fig6(run_fig6()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Precision, recall, and F1 for learned languages (Definition 2.1, §8.2).
+
+Precision is estimated as |E_prec ∩ L*| / |E_prec| with E_prec sampled
+from the learned language; recall as |E_rec ∩ L̂| / |E_rec| with E_rec
+sampled from the target (both 1000 samples in the paper). The sampling
+distributions are the uniform-PCFG distributions of §8.1.
+
+Both CFG-valued learners (GLADE) and DFA-valued learners (L-Star, RPNI)
+are measured through the same :class:`LanguageView` interface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.automata.dfa import DFA
+from repro.languages.cfg import Grammar
+from repro.languages.earley import recognize
+from repro.languages.sampler import GrammarSampler
+
+
+class LanguageView:
+    """A learned language: membership plus sampling."""
+
+    def contains(self, text: str) -> bool:
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> Optional[str]:
+        """Draw one sample, or None if the language is empty."""
+        raise NotImplementedError
+
+
+class GrammarView(LanguageView):
+    """View over a context-free grammar (GLADE's output)."""
+
+    def __init__(self, grammar: Grammar, max_depth: int = 25):
+        self.grammar = grammar
+        self.max_depth = max_depth
+        self._sampler: Optional[GrammarSampler] = None
+
+    def contains(self, text: str) -> bool:
+        return recognize(self.grammar, text)
+
+    def sample(self, rng: random.Random) -> Optional[str]:
+        if self._sampler is None or self._sampler.rng is not rng:
+            try:
+                self._sampler = GrammarSampler(
+                    self.grammar, rng=rng, max_depth=self.max_depth
+                )
+            except ValueError:
+                return None
+        return self._sampler.sample()
+
+
+class DFAView(LanguageView):
+    """View over a DFA (L-Star's and RPNI's output)."""
+
+    def __init__(self, dfa: DFA, max_depth: int = 40):
+        self.dfa = dfa
+        self.max_depth = max_depth
+        self._grammar: Optional[Grammar] = None
+        self._empty = dfa.is_empty()
+        if not self._empty:
+            self._grammar = dfa.to_grammar()
+        self._sampler: Optional[GrammarSampler] = None
+
+    def contains(self, text: str) -> bool:
+        return self.dfa.accepts(text)
+
+    def sample(self, rng: random.Random) -> Optional[str]:
+        if self._empty:
+            return None
+        if self._sampler is None or self._sampler.rng is not rng:
+            self._sampler = GrammarSampler(
+                self._grammar, rng=rng, max_depth=self.max_depth
+            )
+        return self._sampler.sample()
+
+
+@dataclass
+class EvalScores:
+    """Precision/recall/F1 estimates for one learned language."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall
+            / (self.precision + self.recall)
+        )
+
+
+def estimate_precision(
+    learned: LanguageView,
+    target_oracle: Callable[[str], bool],
+    n_samples: int = 1000,
+    seed: int = 0,
+) -> float:
+    """Pr_{α ∼ P_L̂}[α ∈ L*], estimated over ``n_samples`` draws."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(n_samples):
+        text = learned.sample(rng)
+        if text is None:
+            return 0.0  # empty learned language: vacuous precision
+        if target_oracle(text):
+            hits += 1
+    return hits / n_samples
+
+
+def estimate_recall(
+    learned: LanguageView,
+    target_sampler: Callable[[], str],
+    n_samples: int = 1000,
+) -> float:
+    """Pr_{α ∼ P_L*}[α ∈ L̂], estimated over ``n_samples`` draws."""
+    hits = 0
+    for _ in range(n_samples):
+        if learned.contains(target_sampler()):
+            hits += 1
+    return hits / n_samples
+
+
+def evaluate_language(
+    learned: LanguageView,
+    target,
+    n_samples: int = 1000,
+    seed: int = 0,
+) -> EvalScores:
+    """Score a learned language against a §8.2 target."""
+    sampler = target.sampler(random.Random(seed + 1))
+    precision = estimate_precision(
+        learned, target.oracle, n_samples=n_samples, seed=seed
+    )
+    recall = estimate_recall(
+        learned, sampler.sample, n_samples=n_samples
+    )
+    return EvalScores(precision=precision, recall=recall)

@@ -1,0 +1,54 @@
+"""Plain-text tables and series for the experiment harnesses.
+
+Every figure generator prints its results through these helpers so the
+benchmark output reads like the paper's tables: one row per
+(program, algorithm) cell, aligned columns, and simple ASCII series for
+the line plots (Figures 4c and 7c).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    xs: Sequence[Cell],
+    series: Sequence[tuple],
+) -> str:
+    """Render named y-series against a shared x-axis, one row per x."""
+    headers = ["x"] + [name for name, _ys in series]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [ys[index] for _name, ys in series])
+    return title + "\n" + format_table(headers, rows)
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return "{:.3f}".format(cell)
+    return str(cell)

@@ -1,0 +1,7 @@
+"""Fuzzers: GLADE's grammar-based fuzzer and the two §8.3 baselines."""
+
+from repro.fuzzing.afl import AFLFuzzer, AFLStats
+from repro.fuzzing.grammar_fuzzer import GrammarFuzzer
+from repro.fuzzing.naive_fuzzer import NaiveFuzzer
+
+__all__ = ["AFLFuzzer", "AFLStats", "GrammarFuzzer", "NaiveFuzzer"]

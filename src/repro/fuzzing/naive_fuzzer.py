@@ -1,0 +1,54 @@
+"""The naive baseline fuzzer of §8.3.
+
+Not grammar aware: select a random seed, apply n random modifications
+(n uniform in [0, 50]); each modification picks an index and either
+deletes the character there or inserts a random alphabet character
+before it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+
+class NaiveFuzzer:
+    """Random insert/delete mutations over seed inputs."""
+
+    def __init__(
+        self,
+        seeds: Sequence[str],
+        alphabet: str,
+        rng: Optional[random.Random] = None,
+        max_mutations: int = 50,
+    ):
+        if not seeds:
+            raise ValueError("NaiveFuzzer requires at least one seed")
+        if not alphabet:
+            raise ValueError("NaiveFuzzer requires a nonempty alphabet")
+        self.seeds = list(seeds)
+        self.alphabet = alphabet
+        self.rng = rng if rng is not None else random.Random(0)
+        self.max_mutations = max_mutations
+
+    def generate_one(self) -> str:
+        text = self.rng.choice(self.seeds)
+        n_mutations = self.rng.randint(0, self.max_mutations)
+        for _ in range(n_mutations):
+            text = self._mutate(text)
+        return text
+
+    def generate(self, count: int) -> List[str]:
+        return [self.generate_one() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            yield self.generate_one()
+
+    def _mutate(self, text: str) -> str:
+        if text and self.rng.random() < 0.5:
+            index = self.rng.randrange(len(text))
+            return text[:index] + text[index + 1 :]
+        index = self.rng.randint(0, len(text))
+        char = self.rng.choice(self.alphabet)
+        return text[:index] + char + text[index:]

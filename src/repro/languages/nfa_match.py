@@ -1,0 +1,141 @@
+"""Thompson NFA construction and simulation for regex matching.
+
+GLADE needs fast repeated membership queries against the evolving
+phase-one regular expression (to discard checks already in the current
+language, and to decide whether a new seed input is already covered by
+the union of learned regexes, §6.1). A Thompson construction plus
+set-of-states simulation gives worst-case ``O(len(text) * states)``
+matching with no pathological blowup, unlike backtracking engines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.languages import regex as rx
+
+
+class NFA:
+    """A nondeterministic finite automaton with ε-moves.
+
+    States are integers. ``char_edges[state]`` maps a state to a list of
+    ``(charset_or_None, target)`` pairs: ``None`` labels an ε-edge,
+    otherwise the label is a frozenset of accepted characters.
+    """
+
+    def __init__(self):
+        self.n_states = 0
+        self.start = 0
+        self.accept = 0
+        self.eps_edges: Dict[int, List[int]] = {}
+        self.char_edges: Dict[int, List[Tuple[FrozenSet[str], int]]] = {}
+        self._closure_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
+
+    def new_state(self) -> int:
+        state = self.n_states
+        self.n_states += 1
+        return state
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.eps_edges.setdefault(src, []).append(dst)
+
+    def add_char(self, src: int, chars: FrozenSet[str], dst: int) -> None:
+        self.char_edges.setdefault(src, []).append((chars, dst))
+
+    def eps_closure(self, states: FrozenSet[int]) -> FrozenSet[int]:
+        """Return all states reachable from ``states`` via ε-edges."""
+        cached = self._closure_cache.get(states)
+        if cached is not None:
+            return cached
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for nxt in self.eps_edges.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        result = frozenset(closure)
+        if len(self._closure_cache) < 4096:
+            self._closure_cache[states] = result
+        return result
+
+    def step(self, states: FrozenSet[int], char: str) -> FrozenSet[int]:
+        """Advance the state set over one input character."""
+        moved = set()
+        for state in states:
+            for chars, dst in self.char_edges.get(state, ()):
+                if char in chars:
+                    moved.add(dst)
+        if not moved:
+            return frozenset()
+        return self.eps_closure(frozenset(moved))
+
+    def matches(self, text: str) -> bool:
+        """Return True if the automaton accepts ``text``."""
+        current = self.eps_closure(frozenset((self.start,)))
+        for char in text:
+            current = self.step(current, char)
+            if not current:
+                return False
+        return self.accept in current
+
+
+def compile_regex(expr: rx.Regex) -> NFA:
+    """Compile a regex AST into a Thompson NFA."""
+    nfa = NFA()
+
+    def build(node: rx.Regex) -> Tuple[int, int]:
+        """Return (entry, exit) states for ``node``'s fragment."""
+        if isinstance(node, rx.Epsilon):
+            s, t = nfa.new_state(), nfa.new_state()
+            nfa.add_eps(s, t)
+            return s, t
+        if isinstance(node, rx.EmptySet):
+            # Two fresh states with no path between them.
+            return nfa.new_state(), nfa.new_state()
+        if isinstance(node, rx.Lit):
+            entry = nfa.new_state()
+            current = entry
+            for char in node.text:
+                nxt = nfa.new_state()
+                nfa.add_char(current, frozenset((char,)), nxt)
+                current = nxt
+            return entry, current
+        if isinstance(node, rx.CharClass):
+            s, t = nfa.new_state(), nfa.new_state()
+            nfa.add_char(s, node.chars, t)
+            return s, t
+        if isinstance(node, rx.Concat):
+            entry, current = build(node.parts[0])
+            for part in node.parts[1:]:
+                nxt_entry, nxt_exit = build(part)
+                nfa.add_eps(current, nxt_entry)
+                current = nxt_exit
+            return entry, current
+        if isinstance(node, rx.Alt):
+            s, t = nfa.new_state(), nfa.new_state()
+            for option in node.options:
+                entry, exit_ = build(option)
+                nfa.add_eps(s, entry)
+                nfa.add_eps(exit_, t)
+            return s, t
+        if isinstance(node, rx.Star):
+            s, t = nfa.new_state(), nfa.new_state()
+            entry, exit_ = build(node.inner)
+            nfa.add_eps(s, t)
+            nfa.add_eps(s, entry)
+            nfa.add_eps(exit_, entry)
+            nfa.add_eps(exit_, t)
+            return s, t
+        raise TypeError("unknown regex node: {!r}".format(node))
+
+    start, accept = build(expr)
+    nfa.start = start
+    nfa.accept = accept
+    return nfa
+
+
+def regex_matches(expr: rx.Regex, text: str) -> bool:
+    """One-shot convenience wrapper: compile and match."""
+    return compile_regex(expr).matches(text)

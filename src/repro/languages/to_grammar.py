@@ -1,0 +1,65 @@
+"""Structural regex → CFG conversion.
+
+This is the *generic* conversion (one nonterminal per star/alternation,
+no GLADE bookkeeping); GLADE's own translation (§5.1) lives in
+:mod:`repro.core.translate` because it must preserve the identities of
+repetition subexpressions for phase-two merging. The generic version is
+used to give regular target languages (e.g. URL) a sampling grammar and
+by tests as an independent language-preservation check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from repro.languages import regex as rx
+from repro.languages.cfg import (
+    CharSet,
+    Grammar,
+    Nonterminal,
+    Production,
+    Symbol,
+)
+
+
+def regex_to_grammar(expr: rx.Regex, start_name: str = "S") -> Grammar:
+    """Return a grammar with ``L(grammar) = L(expr)``."""
+    productions: List[Production] = []
+    counter = itertools.count()
+
+    def fresh(prefix: str) -> Nonterminal:
+        return Nonterminal("{}{}".format(prefix, next(counter)))
+
+    def body_of(node: rx.Regex) -> Tuple[Symbol, ...]:
+        if isinstance(node, rx.Epsilon):
+            return ()
+        if isinstance(node, rx.EmptySet):
+            # An unproductive nonterminal: no productions at all.
+            return (fresh("EMPTY"),)
+        if isinstance(node, rx.Lit):
+            return (node.text,)
+        if isinstance(node, rx.CharClass):
+            return (CharSet(node.chars),)
+        if isinstance(node, rx.Concat):
+            symbols: List[Symbol] = []
+            for part in node.parts:
+                symbols.extend(body_of(part))
+            return tuple(symbols)
+        if isinstance(node, rx.Alt):
+            head = fresh("ALT")
+            for option in node.options:
+                productions.append(Production(head, body_of(option)))
+            return (head,)
+        if isinstance(node, rx.Star):
+            head = fresh("REP")
+            productions.append(Production(head, ()))
+            productions.append(
+                Production(head, (head,) + body_of(node.inner))
+            )
+            return (head,)
+        raise TypeError("unknown regex node: {!r}".format(node))
+
+    start = Nonterminal(start_name)
+    productions.append(Production(start, body_of(expr)))
+    return Grammar(start, productions)

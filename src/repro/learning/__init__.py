@@ -1,0 +1,40 @@
+"""Language-inference baselines and the membership-oracle framework."""
+
+from repro.learning.lstar import (
+    LStarResult,
+    PerfectEquivalenceOracle,
+    SamplingEquivalenceOracle,
+    lstar,
+)
+from repro.learning.oracle import (
+    BudgetOracle,
+    CachingOracle,
+    CountingOracle,
+    DeadlineOracle,
+    LearningTimeout,
+    Oracle,
+    OracleBudgetExceeded,
+    grammar_oracle,
+    program_oracle,
+    regex_oracle,
+)
+from repro.learning.rpni import RPNIResult, rpni
+
+__all__ = [
+    "BudgetOracle",
+    "CachingOracle",
+    "CountingOracle",
+    "DeadlineOracle",
+    "LStarResult",
+    "LearningTimeout",
+    "Oracle",
+    "OracleBudgetExceeded",
+    "PerfectEquivalenceOracle",
+    "RPNIResult",
+    "SamplingEquivalenceOracle",
+    "grammar_oracle",
+    "lstar",
+    "program_oracle",
+    "regex_oracle",
+    "rpni",
+]

@@ -1,0 +1,204 @@
+"""Membership oracles: blackbox access to the target language.
+
+The paper models blackbox program access as an oracle
+``O(α) = I[α ∈ L*]`` (§2): run the program on α and report whether it was
+accepted. Everything in this reproduction that needs membership — GLADE's
+checks, L-Star's queries, RPNI's negatives, the precision metric — goes
+through the callables defined here, so oracles compose (caching, counting,
+budget enforcement) uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+Oracle = Callable[[str], bool]
+
+
+class OracleBudgetExceeded(Exception):
+    """Raised when an oracle exceeds its query budget (timeout analog)."""
+
+
+class LearningTimeout(Exception):
+    """Raised when a learner exceeds its wall-clock deadline (§8.2)."""
+
+
+class DeadlineOracle:
+    """Wrap an oracle and raise once a wall-clock deadline passes.
+
+    ``deadline`` is an absolute :func:`time.monotonic` instant. This is
+    how the §8.2 experiments impose the paper's 300-second timeout on
+    learners whose cost is dominated by membership queries (L-Star,
+    GLADE).
+    """
+
+    def __init__(self, oracle: Oracle, deadline: float):
+        self._oracle = oracle
+        self.deadline = deadline
+
+    def __call__(self, text: str) -> bool:
+        import time
+
+        if time.monotonic() > self.deadline:
+            raise LearningTimeout("oracle deadline exceeded")
+        return self._oracle(text)
+
+
+class CountingOracle:
+    """Wrap an oracle and count queries (the paper's main cost metric)."""
+
+    def __init__(self, oracle: Oracle):
+        self._oracle = oracle
+        self.queries = 0
+
+    def __call__(self, text: str) -> bool:
+        self.queries += 1
+        return self._oracle(text)
+
+
+class CachingOracle:
+    """Wrap an oracle with a memo table.
+
+    GLADE's candidate enumeration re-derives the same check strings many
+    times (e.g. the ε check of every star candidate); caching keeps the
+    *distinct*-query count equal to what the algorithm fundamentally
+    needs. ``unique_queries`` reports that count.
+    """
+
+    def __init__(self, oracle: Oracle, max_size: Optional[int] = None):
+        self._oracle = oracle
+        self._cache: Dict[str, bool] = {}
+        self._max_size = max_size
+        self.unique_queries = 0
+
+    def __call__(self, text: str) -> bool:
+        if text in self._cache:
+            return self._cache[text]
+        result = self._oracle(text)
+        self.unique_queries += 1
+        if self._max_size is None or len(self._cache) < self._max_size:
+            self._cache[text] = result
+        return result
+
+
+class BudgetOracle:
+    """Wrap an oracle and raise once ``budget`` queries have been made.
+
+    This is the deterministic analog of the paper's 300-second timeout:
+    baselines that issue pathologically many membership queries (§8.2
+    observes this for L-Star) are cut off reproducibly.
+    """
+
+    def __init__(self, oracle: Oracle, budget: int):
+        self._oracle = oracle
+        self.budget = budget
+        self.queries = 0
+
+    def __call__(self, text: str) -> bool:
+        if self.queries >= self.budget:
+            raise OracleBudgetExceeded(
+                "membership-query budget of {} exhausted".format(self.budget)
+            )
+        self.queries += 1
+        return self._oracle(text)
+
+
+def grammar_oracle(grammar) -> Oracle:
+    """Membership oracle for a CFG, decided by Earley parsing."""
+    from repro.languages.earley import recognize
+
+    def oracle(text: str) -> bool:
+        return recognize(grammar, text)
+
+    return oracle
+
+
+def regex_oracle(expr) -> Oracle:
+    """Membership oracle for a regular expression (Thompson NFA)."""
+    from repro.languages.nfa_match import compile_regex
+
+    nfa = compile_regex(expr)
+    return nfa.matches
+
+
+def program_oracle(program) -> Oracle:
+    """Membership oracle for a program under test.
+
+    ``program`` is anything with an ``accepts(text) -> bool`` method —
+    the paper's "run the executable and look for an error message".
+    """
+
+    def oracle(text: str) -> bool:
+        return program.accepts(text)
+
+    return oracle
+
+
+class SubprocessOracle:
+    """Run a real executable per query — the paper's §2 oracle, literally.
+
+    The candidate input is passed on stdin (default) or as a file
+    argument (``input_mode="file"``, substituting ``{input}`` in the
+    command). Acceptance is a zero exit status, optionally refined by an
+    ``error_marker`` searched for in stderr (the paper: "we conclude
+    that α is a valid input if the program does not print an error
+    message").
+    """
+
+    def __init__(
+        self,
+        command,
+        input_mode: str = "stdin",
+        timeout_seconds: float = 5.0,
+        error_marker: Optional[str] = None,
+    ):
+        if input_mode not in ("stdin", "file"):
+            raise ValueError("input_mode must be 'stdin' or 'file'")
+        self.command = list(command)
+        self.input_mode = input_mode
+        self.timeout_seconds = timeout_seconds
+        self.error_marker = error_marker
+
+    def __call__(self, text: str) -> bool:
+        import subprocess
+        import tempfile
+
+        command = self.command
+        stdin_data: Optional[str] = text
+        tmp_path: Optional[str] = None
+        try:
+            if self.input_mode == "file":
+                import os
+
+                fd, tmp_path = tempfile.mkstemp(prefix="repro-oracle-")
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                command = [
+                    part.replace("{input}", tmp_path) for part in command
+                ]
+                stdin_data = None
+            try:
+                completed = subprocess.run(
+                    command,
+                    input=stdin_data,
+                    capture_output=True,
+                    text=True,
+                    timeout=self.timeout_seconds,
+                )
+            except (subprocess.TimeoutExpired, OSError):
+                return False
+            if completed.returncode != 0:
+                return False
+            if self.error_marker is not None and (
+                self.error_marker in completed.stderr
+            ):
+                return False
+            return True
+        finally:
+            if tmp_path is not None:
+                import os
+
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass

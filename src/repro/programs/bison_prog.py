@@ -1,0 +1,359 @@
+"""A bison-grammar parser: the ``bison`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes bison's ``.y`` input
+files; we parse the same structure — a declarations section (``%token``,
+``%left``/``%right``/``%nonassoc``, ``%start``, ``%type``, ``%{ %}``
+prologues), a ``%%``-separated rules section (``nonterminal : symbols
+{action} | ... ;`` with brace-balanced actions, character literals and
+string tokens, ``%prec`` modifiers, mid-rule actions), and an optional
+epilogue. Declared/used symbol sanity is checked (``%start`` must name a
+rule).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.programs.base import ParseError
+
+ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789 \n%{}:;|'\"<>_.+-=$()"
+)
+
+
+class _Tokenizer:
+    """Tokens: names, literals, punctuation, %directives, {code} blocks."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def skip_space(self) -> None:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\n":
+                self.pos += 1
+            elif self.text.startswith("//", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end
+            elif self.text.startswith("/*", self.pos):
+                end = self.text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated comment")
+                self.pos = end + 2
+            else:
+                return
+
+    def next_token(self) -> Optional[str]:
+        self.skip_space()
+        if self.pos >= len(self.text):
+            return None
+        char = self.text[self.pos]
+        if char.isalpha() or char == "_":
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum()
+                or self.text[self.pos] in "_."
+            ):
+                self.pos += 1
+            return self.text[start : self.pos]
+        if char.isdigit():
+            start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            return self.text[start : self.pos]
+        if char == "%":
+            if self.text.startswith("%%", self.pos):
+                self.pos += 2
+                return "%%"
+            if self.text.startswith("%{", self.pos):
+                end = self.text.find("%}", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated %{ block")
+                self.pos = end + 2
+                return "%{...%}"
+            start = self.pos
+            self.pos += 1
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalpha() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            if self.pos == start + 1:
+                raise self.error("bare % in input")
+            return self.text[start : self.pos]
+        if char == "'":
+            end = self.pos + 1
+            if end < len(self.text) and self.text[end] == "\\":
+                end += 1
+            end += 1
+            if end >= len(self.text) or self.text[end] != "'":
+                raise self.error("unterminated character literal")
+            token = self.text[self.pos : end + 1]
+            self.pos = end + 1
+            return token
+        if char == '"':
+            end = self.text.find('"', self.pos + 1)
+            if end < 0:
+                raise self.error("unterminated string token")
+            token = self.text[self.pos : end + 1]
+            self.pos = end + 1
+            return token
+        if char == "{":
+            depth = 0
+            start = self.pos
+            while self.pos < len(self.text):
+                inner = self.text[self.pos]
+                if inner == "{":
+                    depth += 1
+                elif inner == "}":
+                    depth -= 1
+                    if depth == 0:
+                        self.pos += 1
+                        return "{...}"
+                self.pos += 1
+            raise self.error("unterminated action")
+        if char == "<":
+            end = self.text.find(">", self.pos + 1)
+            if end < 0:
+                raise self.error("unterminated type tag")
+            tag = self.text[self.pos + 1 : end]
+            if not tag or not all(c.isalnum() or c == "_" for c in tag):
+                raise self.error("bad type tag")
+            self.pos = end + 1
+            return "<tag>"
+        if char in ":;|":
+            self.pos += 1
+            return char
+        raise self.error("unexpected character {!r}".format(char))
+
+
+_SYMBOL_DECLS = {"%token", "%left", "%right", "%nonassoc", "%type"}
+_VALUE_DECLS = {"%expect", "%expect-rr"}
+_SIMPLE_DECLS = {"%debug", "%defines", "%locations", "%pure-parser", "%union"}
+
+
+class _BisonParser:
+    def __init__(self, text: str):
+        self.tokens = _Tokenizer(text)
+        self.lookahead: Optional[str] = None
+        self.start_symbol: Optional[str] = None
+        self.rule_names: Set[str] = set()
+        self.declared_tokens: Set[str] = set()
+        self.precedence: dict = {}
+        self.rules: List[tuple] = []  # (head, [symbols])
+        self._current_body: List[str] = []
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.tokens.pos)
+
+    def next(self) -> Optional[str]:
+        if self.lookahead is not None:
+            token, self.lookahead = self.lookahead, None
+            return token
+        return self.tokens.next_token()
+
+    def push_back(self, token: str) -> None:
+        self.lookahead = token
+
+    def parse(self) -> None:
+        self.parse_declarations()
+        self.parse_rules()
+        if not self.rule_names:
+            raise self.error("grammar has no rules")
+        if self.start_symbol and self.start_symbol not in self.rule_names:
+            raise self.error(
+                "%start names unknown rule {!r}".format(self.start_symbol)
+            )
+
+    def parse_declarations(self) -> None:
+        while True:
+            token = self.next()
+            if token is None:
+                raise self.error("missing %% separator")
+            if token == "%%":
+                return
+            if token == "%{...%}":
+                continue
+            if token in _SYMBOL_DECLS:
+                self.parse_symbol_list(token)
+            elif token == "%start":
+                name = self.next()
+                if name is None or not _is_name(name):
+                    raise self.error("%start needs a name")
+                self.start_symbol = name
+            elif token in _VALUE_DECLS:
+                value = self.next()
+                if value is None or not value.isdigit():
+                    raise self.error("{} needs a number".format(token))
+            elif token == "%union":
+                body = self.next()
+                if body != "{...}":
+                    raise self.error("%union needs a braced body")
+            elif token in _SIMPLE_DECLS:
+                continue
+            elif token.startswith("%"):
+                raise self.error("unknown declaration {}".format(token))
+            else:
+                raise self.error(
+                    "unexpected token {!r} in declarations".format(token)
+                )
+
+    def parse_symbol_list(self, decl: str) -> None:
+        token = self.next()
+        if token == "<tag>":
+            token = self.next()
+        count = 0
+        while token is not None and (
+            _is_name(token) or _is_literal(token) or token.isdigit()
+        ):
+            count += 1
+            if decl != "%type" and not token.isdigit():
+                self.declared_tokens.add(token)
+            if decl in ("%left", "%right", "%nonassoc"):
+                self.precedence[token] = decl[1:]
+            token = self.next()
+        if count == 0:
+            raise self.error("{} needs at least one symbol".format(decl))
+        if token is not None:
+            self.push_back(token)
+
+    def parse_rules(self) -> None:
+        while True:
+            token = self.next()
+            if token is None or token == "%%":
+                return  # epilogue (if any) is copied verbatim
+            if not _is_name(token):
+                raise self.error(
+                    "expected rule name, got {!r}".format(token)
+                )
+            colon = self.next()
+            if colon != ":":
+                raise self.error("expected ':' after rule name")
+            self.rule_names.add(token)
+            self.parse_productions(token)
+
+    def parse_productions(self, head: str) -> None:
+        while True:
+            self._current_body = []
+            self.parse_symbols()
+            self.rules.append((head, list(self._current_body)))
+            token = self.next()
+            if token == "|":
+                continue
+            if token == ";":
+                return
+            if token is None:
+                raise self.error("rule not terminated with ';'")
+            raise self.error("unexpected token {!r} in rule".format(token))
+
+    def parse_symbols(self) -> None:
+        while True:
+            token = self.next()
+            if token is None:
+                raise self.error("unterminated rule")
+            if token in ("|", ";"):
+                self.push_back(token)
+                return
+            if token == "%prec":
+                name = self.next()
+                if name is None or not (_is_name(name) or _is_literal(name)):
+                    raise self.error("%prec needs a symbol")
+                continue
+            if token == "{...}":
+                continue  # (mid-rule or final) action
+            if _is_name(token) or _is_literal(token):
+                self._current_body.append(token)
+                continue
+            raise self.error("unexpected token {!r} in body".format(token))
+
+
+def _is_name(token: str) -> bool:
+    return bool(token) and (token[0].isalpha() or token[0] == "_") and all(
+        c.isalnum() or c in "_." for c in token
+    )
+
+
+def _is_literal(token: str) -> bool:
+    return len(token) >= 2 and token[0] in "'\"" and token[-1] == token[0]
+
+
+def _analyze(parser: "_BisonParser") -> dict:
+    """Post-parse grammar analysis (what bison does before table gen).
+
+    Total — it produces warnings and statistics, never errors, matching
+    the parse-only acceptance criterion of §8.3.
+    """
+    nonterminals = set(parser.rule_names)
+    terminals = set(parser.declared_tokens)
+    implicit_tokens = set()
+    for _head, body in parser.rules:
+        for symbol in body:
+            if _is_literal(symbol):
+                terminals.add(symbol)
+            elif symbol not in nonterminals and symbol not in terminals:
+                implicit_tokens.add(symbol)
+
+    # Nullable nonterminals (fixed point over the rules).
+    nullable = set()
+    changed = True
+    while changed:
+        changed = False
+        for head, body in parser.rules:
+            if head in nullable:
+                continue
+            if all(symbol in nullable for symbol in body):
+                nullable.add(head)
+                changed = True
+
+    # Reachability from the start symbol (or the first rule).
+    start = parser.start_symbol or (
+        parser.rules[0][0] if parser.rules else None
+    )
+    reachable = set()
+    if start is not None:
+        worklist = [start]
+        while worklist:
+            head = worklist.pop()
+            if head in reachable:
+                continue
+            reachable.add(head)
+            for rule_head, body in parser.rules:
+                if rule_head != head:
+                    continue
+                for symbol in body:
+                    if symbol in nonterminals and symbol not in reachable:
+                        worklist.append(symbol)
+    unreachable = nonterminals - reachable
+
+    return {
+        "terminals": len(terminals),
+        "nonterminals": len(nonterminals),
+        "implicit_tokens": sorted(implicit_tokens),
+        "nullable": sorted(nullable),
+        "unreachable": sorted(unreachable),
+        "precedence_levels": len(set(parser.precedence.values())),
+        "rules": len(parser.rules),
+    }
+
+
+def accepts(text: str) -> bool:
+    """Run bison: parse the grammar file, then analyze the grammar."""
+    try:
+        parser = _BisonParser(text)
+        parser.parse()
+    except ParseError:
+        return False
+    _analyze(parser)
+    return True
+
+
+SEEDS = [
+    "%token NUM\n%%\nexpr : expr '+' term | term ;\nterm : NUM ;\n",
+    "%start prog\n%token ID\n%%\nprog : ID { install(); } ;\n",
+    "%union { int v; }\n%token <v> NUM\n%left '+' '-'\n%%\ne : e '+' e { $$ = $1; } | NUM ;\n",
+]

@@ -1,0 +1,405 @@
+"""A flex-specification parser: the ``flex`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes flex's ``.l`` input
+files; we parse the same three-section structure — a *definitions*
+section (name/pattern macros, ``%option`` lines, ``%{ ... %}`` literal
+blocks), a ``%%``-separated *rules* section (pattern + action, where
+actions are brace-balanced C fragments or ``|``), and an optional user
+code section that is copied verbatim (hence always valid). Patterns are
+validated with a flex-flavored regex syntax: quoting ``"..."``,
+definitions ``{name}``, classes, ``*+?``, ``{m,n}`` repetitions, ``/``
+trailing context, anchors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.programs.base import ParseError
+
+ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789_- \n%{}()[]*+?|/\\\".^$,<>;="
+)
+
+
+class _FlexParser:
+    def __init__(self, text: str):
+        self.lines = text.split("\n")
+        self.index = 0
+        self.names: Set[str] = set()
+        self.rule_patterns: List[str] = []
+        self.options: List[str] = []
+        self.states: List[str] = []
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.index)
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.lines)
+
+    def current(self) -> str:
+        return self.lines[self.index]
+
+    # ------------------------------------------------------------------
+    # Overall structure
+    # ------------------------------------------------------------------
+
+    def parse(self) -> None:
+        self.parse_definitions()
+        if self.at_end():
+            raise self.error("missing %% separator")
+        self.index += 1  # consume the %% line
+        self.parse_rules()
+        # Optional user-code section: anything goes.
+
+    def parse_definitions(self) -> None:
+        while not self.at_end():
+            line = self.current()
+            if line.strip() == "%%":
+                return
+            if line.strip() == "":
+                self.index += 1
+                continue
+            if line.startswith("%{"):
+                self.parse_literal_block()
+                continue
+            if line.startswith("%option"):
+                self.parse_option_line(line)
+                self.index += 1
+                continue
+            if line.startswith("%s") or line.startswith("%x"):
+                self.parse_state_line(line)
+                self.index += 1
+                continue
+            if line.startswith(" ") or line.startswith("\t"):
+                # Indented lines are copied verbatim into the output.
+                self.index += 1
+                continue
+            self.parse_definition_line(line)
+            self.index += 1
+        # Reaching EOF without %% is handled by the caller.
+
+    def parse_literal_block(self) -> None:
+        self.index += 1
+        while not self.at_end():
+            if self.current().startswith("%}"):
+                self.index += 1
+                return
+            self.index += 1
+        raise self.error("unterminated %{ block")
+
+    def parse_option_line(self, line: str) -> None:
+        rest = line[len("%option") :]
+        if rest and not rest.startswith(" "):
+            raise self.error("malformed %option line")
+        for word in rest.split():
+            body = word
+            if body.startswith("no"):
+                body = body[2:]
+            if "=" in body:
+                body = body.split("=", 1)[0]
+            if not body.isalnum():
+                raise self.error("bad option name {!r}".format(word))
+            self.options.append(word)
+
+    def parse_state_line(self, line: str) -> None:
+        rest = line[2:]
+        names = rest.split()
+        if not names:
+            raise self.error("state declaration needs at least one name")
+        for name in names:
+            if not _is_name(name):
+                raise self.error("bad state name {!r}".format(name))
+            self.states.append(name)
+
+    def parse_definition_line(self, line: str) -> None:
+        # NAME pattern
+        end = 0
+        while end < len(line) and (line[end].isalnum() or line[end] == "_"):
+            end += 1
+        name, rest = line[:end], line[end:]
+        if not name or name[0].isdigit():
+            raise self.error("bad definition name")
+        if not rest.startswith(" ") and not rest.startswith("\t"):
+            raise self.error("definition needs a pattern")
+        pattern = rest.strip()
+        if not pattern:
+            raise self.error("empty definition pattern")
+        _validate_pattern(pattern, self.names, self.index)
+        self.names.add(name)
+
+    # ------------------------------------------------------------------
+    # Rules section
+    # ------------------------------------------------------------------
+
+    def parse_rules(self) -> None:
+        while not self.at_end():
+            line = self.current()
+            if line.strip() == "%%":
+                self.index += 1
+                return  # user-code section follows; always valid
+            if line.strip() == "":
+                self.index += 1
+                continue
+            if line.startswith("%{"):
+                self.parse_literal_block()
+                continue
+            if line.startswith(" ") or line.startswith("\t"):
+                self.index += 1
+                continue
+            self.parse_rule()
+
+    def parse_rule(self) -> None:
+        line = self.current()
+        pattern, action_start = _split_rule_line(line, self.index)
+        _validate_pattern(pattern, self.names, self.index)
+        self.rule_patterns.append(pattern)
+        action = line[action_start:].strip()
+        if action == "|" or action == "":
+            self.index += 1
+            return
+        self.consume_action(action)
+
+    def consume_action(self, first_fragment: str) -> None:
+        """Consume a brace-balanced action, possibly spanning lines."""
+        depth = 0
+        fragment = first_fragment
+        while True:
+            for char in fragment:
+                if char == "{":
+                    depth += 1
+                elif char == "}":
+                    depth -= 1
+                    if depth < 0:
+                        raise self.error("unbalanced braces in action")
+            self.index += 1
+            if depth == 0:
+                return
+            if self.at_end():
+                raise self.error("unterminated action")
+            fragment = self.current()
+
+
+def _is_name(word: str) -> bool:
+    return (
+        bool(word)
+        and not word[0].isdigit()
+        and all(c.isalnum() or c == "_" for c in word)
+    )
+
+
+def _split_rule_line(line: str, index: int):
+    """Split a rule line into (pattern, action start offset)."""
+    pos = 0
+    in_quote = False
+    in_class = False
+    while pos < len(line):
+        char = line[pos]
+        if char == "\\" and pos + 1 < len(line):
+            pos += 2
+            continue
+        if in_quote:
+            if char == '"':
+                in_quote = False
+        elif in_class:
+            if char == "]":
+                in_class = False
+        elif char == '"':
+            in_quote = True
+        elif char == "[":
+            in_class = True
+        elif char == " " or char == "\t":
+            return line[:pos], pos
+        pos += 1
+    raise ParseError("rule without action", index)
+
+
+def _validate_pattern(
+    pattern: str, names: Set[str], line_index: int
+) -> None:
+    """Validate a flex regular expression."""
+    pos = 0
+    depth = 0
+    seen_slash = False
+    last_was_atom = False
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line_index)
+
+    if pattern.startswith("^"):
+        pos = 1
+    while pos < len(pattern):
+        char = pattern[pos]
+        if char == "\\":
+            if pos + 1 >= len(pattern):
+                raise error("dangling backslash")
+            pos += 2
+            last_was_atom = True
+            continue
+        if char == '"':
+            end = pattern.find('"', pos + 1)
+            if end < 0:
+                raise error("unterminated quoted string")
+            pos = end + 1
+            last_was_atom = True
+            continue
+        if char == "[":
+            pos = _validate_class(pattern, pos, error)
+            last_was_atom = True
+            continue
+        if char == "{":
+            end = pattern.find("}", pos + 1)
+            if end < 0:
+                raise error("unterminated brace")
+            body = pattern[pos + 1 : end]
+            if _is_name(body):
+                if body not in names:
+                    raise error("undefined name {{{}}}".format(body))
+                last_was_atom = True
+            else:
+                if not last_was_atom:
+                    raise error("repetition without atom")
+                _validate_repeat(body, error)
+            pos = end + 1
+            continue
+        if char == "(":
+            depth += 1
+            pos += 1
+            last_was_atom = False
+            continue
+        if char == ")":
+            depth -= 1
+            if depth < 0:
+                raise error("unmatched close paren")
+            pos += 1
+            last_was_atom = True
+            continue
+        if char in "*+?":
+            if not last_was_atom:
+                raise error("quantifier without atom")
+            pos += 1
+            continue
+        if char == "|":
+            pos += 1
+            last_was_atom = False
+            continue
+        if char == "/":
+            if seen_slash:
+                raise error("multiple trailing contexts")
+            seen_slash = True
+            pos += 1
+            last_was_atom = False
+            continue
+        if char == "$":
+            if pos != len(pattern) - 1:
+                raise error("$ must end the pattern")
+            pos += 1
+            continue
+        if char in " \t":
+            raise error("unquoted blank in pattern")
+        pos += 1
+        last_was_atom = True
+    if depth != 0:
+        raise error("unmatched open paren")
+
+
+def _validate_repeat(body: str, error) -> None:
+    """Validate a ``{m}``, ``{m,}`` or ``{m,n}`` repetition body."""
+    if not body:
+        raise error("empty repetition")
+    parts = body.split(",")
+    if len(parts) > 2:
+        raise error("too many commas in repetition")
+    if not parts[0].isdigit():
+        raise error("repetition lower bound must be a number")
+    low = int(parts[0])
+    if len(parts) == 2 and parts[1]:
+        if not parts[1].isdigit():
+            raise error("repetition upper bound must be a number")
+        if int(parts[1]) < low:
+            raise error("repetition bounds out of order")
+
+
+def _validate_class(pattern: str, pos: int, error) -> int:
+    pos += 1
+    if pos < len(pattern) and pattern[pos] == "^":
+        pos += 1
+    first = True
+    while pos < len(pattern):
+        char = pattern[pos]
+        if char == "]" and not first:
+            return pos + 1
+        if char == "\\":
+            pos += 2
+            first = False
+            continue
+        if pattern.startswith("[:", pos):
+            end = pattern.find(":]", pos + 2)
+            if end < 0:
+                raise error("unterminated POSIX class")
+            pos = end + 2
+            first = False
+            continue
+        pos += 1
+        first = False
+    raise error("unterminated character class")
+
+
+def _analyze(parser: "_FlexParser") -> dict:
+    """Post-parse scanner analysis (what flex does before table gen).
+
+    Total — statistics and warnings only, preserving the parse-only
+    acceptance criterion.
+    """
+    stats = {
+        "rules": len(parser.rule_patterns),
+        "anchored": 0,
+        "trailing_context": 0,
+        "uses_definitions": 0,
+        "quoted": 0,
+        "classes": 0,
+        "quantified": 0,
+        "duplicates": 0,
+        "states": len(parser.states),
+        "options": len(parser.options),
+    }
+    seen = set()
+    for pattern in parser.rule_patterns:
+        if pattern in seen:
+            stats["duplicates"] += 1
+        seen.add(pattern)
+        if pattern.startswith("^") or pattern.endswith("$"):
+            stats["anchored"] += 1
+        if "/" in pattern:
+            stats["trailing_context"] += 1
+        if "{" in pattern and any(
+            "{" + name + "}" in pattern for name in parser.names
+        ):
+            stats["uses_definitions"] += 1
+        if '"' in pattern:
+            stats["quoted"] += 1
+        if "[" in pattern:
+            stats["classes"] += 1
+        if any(q in pattern for q in "*+?"):
+            stats["quantified"] += 1
+    return stats
+
+
+def accepts(text: str) -> bool:
+    """Run flex: parse the spec, then analyze the scanner rules."""
+    try:
+        parser = _FlexParser(text)
+        parser.parse()
+    except ParseError:
+        return False
+    _analyze(parser)
+    return True
+
+
+SEEDS = [
+    "DIGIT [0-9]\n%%\n{DIGIT}+ { count(); }\nif return IF;\n%%\n",
+    "%option noyywrap\n%%\n[a-z]+ ECHO;\n",
+    '%s STR\nID [a-z_][a-z0-9_]*\n%%\n"go" { BEGIN(STR); }\n{ID}/= return LHS;\n%%\n',
+]

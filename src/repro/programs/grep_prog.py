@@ -1,0 +1,407 @@
+"""A GNU-grep implementation: the ``grep`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes GNU grep; we
+implement the two phases a real grep has. First a *compiler* for basic
+regular expressions (BRE) with the GNU extensions grep documents —
+anchors, ``.``, ``*``, intervals ``\\{m,n\\}``, groups ``\\(...\\)``,
+alternation ``\\|``, back-references ``\\1``–``\\9``, bracket
+expressions with ranges and POSIX classes ``[[:alpha:]]``. Second a
+backtracking *matcher* that runs the compiled pattern over fixed sample
+subject lines (with a step budget), the way grep scans its input.
+
+A pattern is accepted iff compilation succeeds (matching is total).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.programs.base import ParseError
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789.*[]^$\\(){},:-| "
+
+_POSIX_CLASSES = {
+    "alpha": str.isalpha,
+    "digit": str.isdigit,
+    "alnum": str.isalnum,
+    "upper": str.isupper,
+    "lower": str.islower,
+    "space": str.isspace,
+    "punct": lambda c: not c.isalnum() and not c.isspace() and c.isprintable(),
+    "print": str.isprintable,
+    "graph": lambda c: c.isprintable() and not c.isspace(),
+    "cntrl": lambda c: not c.isprintable() and not c.isspace(),
+    "xdigit": lambda c: c in "0123456789abcdefABCDEF",
+    "blank": lambda c: c in " \t",
+}
+
+# AST: ("alt", [branch...]); branch = ("seq", [piece...], bol, eol);
+# piece = ("piece", atom, low, high|None);
+# atom = ("char", c) | ("any",) | ("bracket", negated, items)
+#      | ("group", n, alt) | ("backref", n) | ("gnuop", c)
+# bracket item = ("c", char) | ("range", lo, hi) | ("posix", name)
+
+
+class _Compiler:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+        self.group_count = 0
+        self.open_groups: List[int] = []
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.pattern):
+            return ""
+        return self.pattern[index]
+
+    # ------------------------------------------------------------------
+    # Grammar: RE -> BRANCH (\| BRANCH)* ; BRANCH -> PIECE* ;
+    #          PIECE -> ATOM (STAR | INTERVAL)*
+    # ------------------------------------------------------------------
+
+    def compile(self):
+        ast = self.compile_alternation()
+        if self.pos != len(self.pattern):
+            raise self.error("trailing garbage after pattern")
+        if self.open_groups:
+            raise self.error("unterminated group")
+        return ast
+
+    def compile_alternation(self):
+        branches = [self.compile_branch()]
+        while self.peek() == "\\" and self.peek(1) == "|":
+            self.pos += 2
+            branches.append(self.compile_branch())
+        return ("alt", branches)
+
+    def compile_branch(self):
+        # A branch may be empty (grep accepts the empty pattern).
+        bol = False
+        if self.peek() == "^":
+            self.pos += 1
+            bol = True
+        pieces = []
+        eol = False
+        while True:
+            if self.peek() == "$" and self._is_branch_end():
+                self.pos += 1
+                eol = True
+                break
+            piece = self.compile_piece(first=not pieces and not bol)
+            if piece is None:
+                break
+            pieces.append(piece)
+        return ("seq", pieces, bol, eol)
+
+    def _is_branch_end(self) -> bool:
+        nxt, nxt2 = self.peek(1), self.peek(2)
+        if nxt == "":
+            return True
+        return nxt == "\\" and nxt2 in "|)"
+
+    def compile_piece(self, first: bool):
+        atom = self.compile_atom(first)
+        if atom is None:
+            return None
+        low, high = 1, 1
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.pos += 1
+                low, high = 0, None
+            elif char == "\\" and self.peek(1) == "{":
+                self.pos += 2
+                low, high = self.compile_interval()
+            else:
+                return ("piece", atom, low, high)
+
+    def compile_interval(self) -> Tuple[int, Optional[int]]:
+        low = self._read_number()
+        if low is None:
+            raise self.error("interval requires a lower bound")
+        high: Optional[int] = low
+        if self.peek() == ",":
+            self.pos += 1
+            high = self._read_number()  # may be None: unbounded
+        if not (self.peek() == "\\" and self.peek(1) == "}"):
+            raise self.error("unterminated interval")
+        self.pos += 2
+        if high is not None and high < low:
+            raise self.error("interval bounds out of order")
+        if low > 255 or (high is not None and high > 255):
+            raise self.error("interval bound too large")
+        return low, high
+
+    def _read_number(self) -> Optional[int]:
+        start = self.pos
+        while self.peek() != "" and self.peek() in "0123456789":
+            self.pos += 1
+        if self.pos == start:
+            return None
+        return int(self.pattern[start : self.pos])
+
+    def compile_atom(self, first: bool):
+        char = self.peek()
+        if char == "":
+            return None
+        if char == ".":
+            self.pos += 1
+            return ("any",)
+        if char == "[":
+            self.pos += 1
+            return self.compile_bracket()
+        if char == "\\":
+            return self.compile_escape()
+        if char == "*" and first:
+            # A leading star is a literal star in BRE.
+            self.pos += 1
+            return ("char", "*")
+        if char in "^$":
+            # Mid-branch anchors are literals in BRE.
+            self.pos += 1
+            return ("char", char)
+        self.pos += 1
+        return ("char", char)
+
+    def compile_escape(self):
+        nxt = self.peek(1)
+        if nxt == "":
+            raise self.error("dangling backslash")
+        if nxt == "(":
+            self.pos += 2
+            self.group_count += 1
+            number = self.group_count
+            self.open_groups.append(number)
+            inner = self.compile_alternation()
+            if not (self.peek() == "\\" and self.peek(1) == ")"):
+                raise self.error("unterminated group")
+            self.pos += 2
+            self.open_groups.pop()
+            return ("group", number, inner)
+        if nxt == ")":
+            if not self.open_groups:
+                raise self.error("unmatched group close")
+            return None  # let the enclosing group consume it
+        if nxt == "|":
+            return None  # alternation handled by caller
+        if nxt in "0123456789":
+            number = int(nxt)
+            if number == 0 or number > self.group_count:
+                raise self.error("invalid back-reference \\{}".format(nxt))
+            self.pos += 2
+            return ("backref", number)
+        if nxt in ".*[]^$\\{}":
+            self.pos += 2
+            return ("char", nxt)
+        if nxt in "wWsSbB<>":
+            self.pos += 2
+            return ("gnuop", nxt)
+        raise self.error("unknown escape \\{}".format(nxt))
+
+    def compile_bracket(self):
+        negated = False
+        if self.peek() == "^":
+            self.pos += 1
+            negated = True
+        items = []
+        first = True
+        while True:
+            char = self.peek()
+            if char == "":
+                raise self.error("unterminated bracket expression")
+            if char == "]" and not first:
+                self.pos += 1
+                break
+            if char == "[" and self.peek(1) == ":":
+                items.append(("posix", self._compile_posix_class()))
+                first = False
+                continue
+            self.pos += 1
+            # Range a-b (a trailing '-' is a literal).
+            if self.peek() == "-" and self.peek(1) not in ("]", ""):
+                self.pos += 1
+                high = self.peek()
+                self.pos += 1
+                if ord(high) < ord(char):
+                    raise self.error("bracket range out of order")
+                items.append(("range", char, high))
+            else:
+                items.append(("c", char))
+            first = False
+        if not items:
+            raise self.error("empty bracket expression")
+        return ("bracket", negated, items)
+
+    def _compile_posix_class(self) -> str:
+        end = self.pattern.find(":]", self.pos + 2)
+        if end < 0:
+            raise self.error("unterminated POSIX class")
+        name = self.pattern[self.pos + 2 : end]
+        if name not in _POSIX_CLASSES:
+            raise self.error("unknown POSIX class [:{}:]".format(name))
+        self.pos = end + 2
+        return name
+
+
+# ----------------------------------------------------------------------
+# Matching engine (backtracking over the AST, with a step budget)
+# ----------------------------------------------------------------------
+
+_STEP_BUDGET = 20000
+
+_SAMPLE_TEXTS = [
+    "hello world",
+    "foobar foo bar",
+    "abc123 xyz",
+    "  indented line 42",
+    "aaaabbbbcccc",
+]
+
+
+class _Matcher:
+    def __init__(self, text: str):
+        self.text = text
+        self.groups = {}
+        self.steps = 0
+
+    def _budget(self) -> bool:
+        self.steps += 1
+        return self.steps <= _STEP_BUDGET
+
+    def match_alt(self, node, at: int, is_toplevel: bool):
+        """Yield end positions for an alternation node starting at ``at``."""
+        for branch in node[1]:
+            yield from self.match_branch(branch, at, is_toplevel)
+
+    def match_branch(self, branch, at: int, is_toplevel: bool):
+        _tag, pieces, bol, eol = branch
+        if bol and is_toplevel and at != 0:
+            return
+        for end in self.match_seq(pieces, 0, at):
+            if eol and is_toplevel and end != len(self.text):
+                continue
+            yield end
+
+    def match_seq(self, pieces, index: int, at: int):
+        if not self._budget():
+            return
+        if index == len(pieces):
+            yield at
+            return
+        _tag, atom, low, high = pieces[index]
+        yield from self._match_repeat(atom, low, high, 0, at, pieces, index)
+
+    def _match_repeat(self, atom, low, high, count, at, pieces, index):
+        if not self._budget():
+            return
+        if count >= low:
+            yield from self.match_seq(pieces, index + 1, at)
+        if high is not None and count >= high:
+            return
+        if count >= len(self.text) + 2:  # safety for ε-matching atoms
+            return
+        for end in self.match_atom(atom, at):
+            if end == at and count >= low:
+                continue  # ε repetition makes no progress
+            yield from self._match_repeat(
+                atom, low, high, count + 1, end, pieces, index
+            )
+
+    def match_atom(self, atom, at: int):
+        kind = atom[0]
+        text = self.text
+        if kind == "char":
+            if at < len(text) and text[at] == atom[1]:
+                yield at + 1
+        elif kind == "any":
+            if at < len(text):
+                yield at + 1
+        elif kind == "bracket":
+            if at < len(text) and self._bracket_matches(atom, text[at]):
+                yield at + 1
+        elif kind == "group":
+            for end in self.match_alt(atom[2], at, is_toplevel=False):
+                self.groups[atom[1]] = text[at:end]
+                yield end
+        elif kind == "backref":
+            captured = self.groups.get(atom[1], "")
+            if text.startswith(captured, at):
+                yield at + len(captured)
+        elif kind == "gnuop":
+            yield from self._match_gnuop(atom[1], at)
+
+    def _bracket_matches(self, atom, char: str) -> bool:
+        _tag, negated, items = atom
+        hit = False
+        for item in items:
+            if item[0] == "c":
+                hit = char == item[1]
+            elif item[0] == "range":
+                hit = item[1] <= char <= item[2]
+            else:
+                hit = _POSIX_CLASSES[item[1]](char)
+            if hit:
+                break
+        return hit != negated
+
+    def _match_gnuop(self, op: str, at: int):
+        text = self.text
+
+        def is_word(c: str) -> bool:
+            return c.isalnum() or c == "_"
+
+        if op in "wW":
+            if at < len(text) and is_word(text[at]) == (op == "w"):
+                yield at + 1
+        elif op in "sS":
+            if at < len(text) and text[at].isspace() == (op == "s"):
+                yield at + 1
+        else:  # zero-width word boundaries: b B < >
+            before = at > 0 and is_word(text[at - 1])
+            after = at < len(text) and is_word(text[at])
+            boundary = before != after
+            if op == "b" and boundary:
+                yield at
+            elif op == "B" and not boundary:
+                yield at
+            elif op == "<" and after and not before:
+                yield at
+            elif op == ">" and before and not after:
+                yield at
+
+
+def _search(ast, text: str) -> bool:
+    """grep semantics: does the pattern match anywhere in the line?"""
+    for start in range(len(text) + 1):
+        matcher = _Matcher(text)
+        for _end in matcher.match_alt(ast, start, is_toplevel=True):
+            return True
+        if matcher.steps > _STEP_BUDGET:
+            return False
+    return False
+
+
+def accepts(text: str) -> bool:
+    """Run grep: compile the pattern, then scan the sample input."""
+    if "\n" in text:
+        return False  # grep patterns are single-line
+    try:
+        ast = _Compiler(text).compile()
+    except ParseError:
+        return False
+    matched = sum(1 for line in _SAMPLE_TEXTS if _search(ast, line))
+    del matched  # grep's exit status; acceptance is compile success
+    return True
+
+
+SEEDS = [
+    "hello",
+    "^[a-z]*\\(foo\\|bar\\)$",
+    "[[:digit:]]\\{2,5\\}",
+    "\\(ab\\)\\1*",
+    ".x*[^yz]$",
+]

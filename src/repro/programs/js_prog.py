@@ -1,0 +1,564 @@
+"""A JavaScript-subset parser: the ``javascript`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes SpiderMonkey's
+front-end; we implement a tokenizer and recursive-descent parser for a
+JavaScript subset: ``function`` declarations and expressions, ``var``/
+``let``/``const``, ``if``/``else``, ``while``, ``do-while``, ``for``
+(classic and ``for-in``), ``return``/``break``/``continue``, ``throw``/
+``try``/``catch``/``finally``, ``switch``, blocks, and the expression
+grammar: assignment (including compound), ternaries, logical/bitwise/
+equality/relational/shift/additive/multiplicative chains, unary and
+postfix operators, ``new``, calls, member access, array and object
+literals, and parenthesized expressions. Semicolons are required
+(no ASI) — a deliberate simplification noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.programs.base import ParseError
+
+ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789 \n()[]{};:,.=+-*/%<>!?&|^~\"'_"
+)
+
+_KEYWORDS = {
+    "function", "var", "let", "const", "if", "else", "while", "do", "for",
+    "in", "of", "return", "break", "continue", "throw", "try", "catch",
+    "finally", "switch", "case", "default", "new", "delete", "typeof",
+    "instanceof", "null", "true", "false", "this", "void",
+}
+
+Token = Tuple[str, str]
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: List[Token] = []
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def tokenize(self) -> List[Token]:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char in " \t\n\r":
+                self.pos += 1
+                continue
+            if self.text.startswith("//", self.pos):
+                end = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if end < 0 else end
+                continue
+            if self.text.startswith("/*", self.pos):
+                end = self.text.find("*/", self.pos + 2)
+                if end < 0:
+                    raise self.error("unterminated block comment")
+                self.pos = end + 2
+                continue
+            self.read_token()
+        self.tokens.append(("EOF", ""))
+        return self.tokens
+
+    def read_token(self) -> None:
+        char = self.text[self.pos]
+        if char.isalpha() or char in "_$":
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum()
+                or self.text[self.pos] in "_$"
+            ):
+                self.pos += 1
+            word = self.text[start : self.pos]
+            kind = "KEYWORD" if word in _KEYWORDS else "NAME"
+            self.tokens.append((kind, word))
+            return
+        if char.isdigit():
+            start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            if self.pos < len(self.text) and self.text[self.pos] == ".":
+                self.pos += 1
+                while (
+                    self.pos < len(self.text)
+                    and self.text[self.pos].isdigit()
+                ):
+                    self.pos += 1
+            if self.pos < len(self.text) and (
+                self.text[self.pos].isalpha() or self.text[self.pos] == "_"
+            ):
+                raise self.error("identifier after number")
+            self.tokens.append(("NUMBER", self.text[start : self.pos]))
+            return
+        if char in "'\"":
+            self.pos += 1
+            while self.pos < len(self.text):
+                inner = self.text[self.pos]
+                if inner == "\\":
+                    self.pos += 2
+                    continue
+                if inner == "\n":
+                    raise self.error("newline in string literal")
+                if inner == char:
+                    self.pos += 1
+                    self.tokens.append(("STRING", char))
+                    return
+                self.pos += 1
+            raise self.error("unterminated string literal")
+        for op in (
+            "===", "!==", ">>>", "&&", "||", "==", "!=", "<=", ">=",
+            "<<", ">>", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+            "|=", "^=",
+        ):
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                self.tokens.append(("OP", op))
+                return
+        if char in "()[]{};:,.=+-*/%<>!?&|^~":
+            self.pos += 1
+            self.tokens.append(("OP", char))
+            return
+        raise self.error("illegal character {!r}".format(char))
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.index)
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token[0] != "EOF":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token[0] == kind and (value is None or token[1] == value)
+
+    def match(self, kind: str, value: Optional[str] = None) -> bool:
+        if self.check(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            raise self.error(
+                "expected {} {!r}, got {!r}".format(kind, value, self.peek())
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> None:
+        while not self.check("EOF"):
+            self.parse_statement()
+        self.expect("EOF")
+
+    def parse_statement(self) -> None:
+        token = self.peek()
+        if token[0] == "KEYWORD":
+            word = token[1]
+            handler = {
+                "function": self.parse_function_declaration,
+                "var": self.parse_variable_statement,
+                "let": self.parse_variable_statement,
+                "const": self.parse_variable_statement,
+                "if": self.parse_if,
+                "while": self.parse_while,
+                "do": self.parse_do_while,
+                "for": self.parse_for,
+                "return": self.parse_return,
+                "break": self.parse_break_continue,
+                "continue": self.parse_break_continue,
+                "throw": self.parse_throw,
+                "try": self.parse_try,
+                "switch": self.parse_switch,
+            }.get(word)
+            if handler is not None:
+                handler()
+                return
+        if self.check("OP", "{"):
+            self.parse_block()
+            return
+        if self.match("OP", ";"):
+            return  # empty statement
+        self.parse_expression()
+        self.expect("OP", ";")
+
+    def parse_block(self) -> None:
+        self.expect("OP", "{")
+        while not self.check("OP", "}"):
+            if self.check("EOF"):
+                raise self.error("unterminated block")
+            self.parse_statement()
+        self.expect("OP", "}")
+
+    def parse_function_declaration(self) -> None:
+        self.expect("KEYWORD", "function")
+        self.expect("NAME")
+        self.parse_function_rest()
+
+    def parse_function_rest(self) -> None:
+        self.expect("OP", "(")
+        if not self.check("OP", ")"):
+            self.expect("NAME")
+            while self.match("OP", ","):
+                self.expect("NAME")
+        self.expect("OP", ")")
+        self.parse_block()
+
+    def parse_variable_statement(self) -> None:
+        self.advance()  # var | let | const
+        self.parse_declarator()
+        while self.match("OP", ","):
+            self.parse_declarator()
+        self.expect("OP", ";")
+
+    def parse_declarator(self) -> None:
+        self.expect("NAME")
+        if self.match("OP", "="):
+            self.parse_assignment()
+
+    def parse_if(self) -> None:
+        self.expect("KEYWORD", "if")
+        self.expect("OP", "(")
+        self.parse_expression()
+        self.expect("OP", ")")
+        self.parse_statement()
+        if self.match("KEYWORD", "else"):
+            self.parse_statement()
+
+    def parse_while(self) -> None:
+        self.expect("KEYWORD", "while")
+        self.expect("OP", "(")
+        self.parse_expression()
+        self.expect("OP", ")")
+        self.parse_statement()
+
+    def parse_do_while(self) -> None:
+        self.expect("KEYWORD", "do")
+        self.parse_statement()
+        self.expect("KEYWORD", "while")
+        self.expect("OP", "(")
+        self.parse_expression()
+        self.expect("OP", ")")
+        self.expect("OP", ";")
+
+    def parse_for(self) -> None:
+        self.expect("KEYWORD", "for")
+        self.expect("OP", "(")
+        if self.check("KEYWORD") and self.peek()[1] in (
+            "var", "let", "const",
+        ):
+            self.advance()
+            self.expect("NAME")
+            if self.match("KEYWORD", "in") or self.match("KEYWORD", "of"):
+                self.parse_expression()
+                self.expect("OP", ")")
+                self.parse_statement()
+                return
+            if self.match("OP", "="):
+                self.parse_assignment()
+            while self.match("OP", ","):
+                self.parse_declarator()
+        elif not self.check("OP", ";"):
+            self.parse_expression()
+            if self.match("KEYWORD", "in") or self.match("KEYWORD", "of"):
+                self.parse_expression()
+                self.expect("OP", ")")
+                self.parse_statement()
+                return
+        self.expect("OP", ";")
+        if not self.check("OP", ";"):
+            self.parse_expression()
+        self.expect("OP", ";")
+        if not self.check("OP", ")"):
+            self.parse_expression()
+        self.expect("OP", ")")
+        self.parse_statement()
+
+    def parse_return(self) -> None:
+        self.expect("KEYWORD", "return")
+        if not self.check("OP", ";"):
+            self.parse_expression()
+        self.expect("OP", ";")
+
+    def parse_break_continue(self) -> None:
+        self.advance()
+        if self.check("NAME"):
+            self.advance()  # label
+        self.expect("OP", ";")
+
+    def parse_throw(self) -> None:
+        self.expect("KEYWORD", "throw")
+        self.parse_expression()
+        self.expect("OP", ";")
+
+    def parse_try(self) -> None:
+        self.expect("KEYWORD", "try")
+        self.parse_block()
+        caught = False
+        if self.match("KEYWORD", "catch"):
+            caught = True
+            self.expect("OP", "(")
+            self.expect("NAME")
+            self.expect("OP", ")")
+            self.parse_block()
+        if self.match("KEYWORD", "finally"):
+            caught = True
+            self.parse_block()
+        if not caught:
+            raise self.error("try needs catch or finally")
+
+    def parse_switch(self) -> None:
+        self.expect("KEYWORD", "switch")
+        self.expect("OP", "(")
+        self.parse_expression()
+        self.expect("OP", ")")
+        self.expect("OP", "{")
+        seen_default = False
+        while not self.check("OP", "}"):
+            if self.match("KEYWORD", "case"):
+                self.parse_expression()
+                self.expect("OP", ":")
+            elif self.match("KEYWORD", "default"):
+                if seen_default:
+                    raise self.error("duplicate default clause")
+                seen_default = True
+                self.expect("OP", ":")
+            else:
+                raise self.error("expected case or default")
+            while not self.check("OP", "}") and not self.check(
+                "KEYWORD", "case"
+            ) and not self.check("KEYWORD", "default"):
+                self.parse_statement()
+        self.expect("OP", "}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> None:
+        self.parse_assignment()
+        while self.match("OP", ","):
+            self.parse_assignment()
+
+    def parse_assignment(self) -> None:
+        self.parse_conditional()
+        if self.check("OP") and self.peek()[1] in (
+            "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+        ):
+            self.advance()
+            self.parse_assignment()
+
+    def parse_conditional(self) -> None:
+        self.parse_binary(0)
+        if self.match("OP", "?"):
+            self.parse_assignment()
+            self.expect("OP", ":")
+            self.parse_assignment()
+
+    _BINARY_LEVELS = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!=", "===", "!=="),
+        ("<", ">", "<=", ">=", "instanceof", "in"),
+        ("<<", ">>", ">>>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_binary(self, level: int) -> None:
+        if level >= len(self._BINARY_LEVELS):
+            self.parse_unary()
+            return
+        self.parse_binary(level + 1)
+        operators = self._BINARY_LEVELS[level]
+        while True:
+            token = self.peek()
+            if token[0] == "OP" and token[1] in operators:
+                self.advance()
+                self.parse_binary(level + 1)
+            elif token[0] == "KEYWORD" and token[1] in operators:
+                self.advance()
+                self.parse_binary(level + 1)
+            else:
+                return
+
+    def parse_unary(self) -> None:
+        token = self.peek()
+        if token[0] == "OP" and token[1] in ("!", "~", "+", "-", "++", "--"):
+            self.advance()
+            self.parse_unary()
+            return
+        if token[0] == "KEYWORD" and token[1] in (
+            "typeof", "delete", "void",
+        ):
+            self.advance()
+            self.parse_unary()
+            return
+        self.parse_postfix()
+
+    def parse_postfix(self) -> None:
+        self.parse_call_or_member()
+        if self.check("OP", "++") or self.check("OP", "--"):
+            self.advance()
+
+    def parse_call_or_member(self) -> None:
+        if self.match("KEYWORD", "new"):
+            self.parse_call_or_member()
+            return
+        self.parse_primary()
+        while True:
+            if self.match("OP", "."):
+                self.expect("NAME")
+            elif self.match("OP", "["):
+                self.parse_expression()
+                self.expect("OP", "]")
+            elif self.match("OP", "("):
+                if not self.check("OP", ")"):
+                    self.parse_assignment()
+                    while self.match("OP", ","):
+                        self.parse_assignment()
+                self.expect("OP", ")")
+            else:
+                return
+
+    def parse_primary(self) -> None:
+        token = self.peek()
+        if token[0] in ("NUMBER", "STRING", "NAME"):
+            self.advance()
+            return
+        if token[0] == "KEYWORD" and token[1] in (
+            "null", "true", "false", "this",
+        ):
+            self.advance()
+            return
+        if token == ("KEYWORD", "function"):
+            self.advance()
+            if self.check("NAME"):
+                self.advance()
+            self.parse_function_rest()
+            return
+        if self.match("OP", "("):
+            self.parse_expression()
+            self.expect("OP", ")")
+            return
+        if self.match("OP", "["):
+            while not self.check("OP", "]"):
+                self.parse_assignment()
+                if not self.match("OP", ","):
+                    break
+            self.expect("OP", "]")
+            return
+        if self.match("OP", "{"):
+            while not self.check("OP", "}"):
+                self.parse_property()
+                if not self.match("OP", ","):
+                    break
+            self.expect("OP", "}")
+            return
+        raise self.error("unexpected token {!r}".format(token))
+
+    def parse_property(self) -> None:
+        token = self.peek()
+        if token[0] in ("NAME", "STRING", "NUMBER", "KEYWORD"):
+            self.advance()
+        else:
+            raise self.error("bad property name")
+        self.expect("OP", ":")
+        self.parse_assignment()
+
+
+def _profile(tokens: List[Token]) -> dict:
+    """Per-construct profiling pass (the front-end's post-parse analog)."""
+    stats = {}
+
+    def bump(key: str) -> None:
+        stats[key] = stats.get(key, 0) + 1
+
+    brace_depth = 0
+    max_brace_depth = 0
+    for kind, value in tokens:
+        if kind == "KEYWORD":
+            if value == "function":
+                bump("functions")
+            elif value in ("var", "let", "const"):
+                bump("declarations")
+            elif value == "if":
+                bump("conditionals")
+            elif value in ("while", "do", "for"):
+                bump("loops")
+            elif value in ("try", "catch", "finally", "throw"):
+                bump("exception_handling")
+            elif value in ("switch", "case", "default"):
+                bump("switch_clauses")
+            elif value == "new":
+                bump("constructions")
+            elif value in ("typeof", "delete", "void", "instanceof"):
+                bump("operators_kw")
+            elif value in ("null", "true", "false", "this"):
+                bump("constants")
+        elif kind == "STRING":
+            bump("strings")
+        elif kind == "NUMBER":
+            if "." in value:
+                bump("floats")
+            else:
+                bump("ints")
+        elif kind == "OP":
+            if value == "{":
+                brace_depth += 1
+                max_brace_depth = max(max_brace_depth, brace_depth)
+            elif value == "}":
+                brace_depth -= 1
+            elif value in ("===", "!==", "==", "!="):
+                bump("equality_tests")
+            elif value in ("++", "--"):
+                bump("updates")
+            elif value in ("&&", "||"):
+                bump("boolean_ops")
+            elif value == "?":
+                bump("ternaries")
+    stats["max_brace_depth"] = max_brace_depth
+    return stats
+
+
+def accepts(text: str) -> bool:
+    """Run the front-end: tokenize, parse, and profile the program."""
+    try:
+        tokens = _Tokenizer(text).tokenize()
+        _Parser(tokens).parse_program()
+    except ParseError:
+        return False
+    _profile(tokens)
+    return True
+
+
+SEEDS = [
+    "var x = 1;",
+    "function add(a, b) { return a + b; }",
+    "for (var i = 0; i < 10; i += 1) { total = total + i; }",
+    "var obj = { name: 'ada', tags: [1, 2] };",
+    "try { risky(); } catch (e) { log(e); } finally { done(); }",
+    "switch (x) { case 1: break; default: y = 2; }",
+    "var p = new Point(1, 2); do { p.x--; } while (p.x > 0);",
+    "if (a === b) { c = a ? 1 : 2; } else { c = typeof a; }",
+]

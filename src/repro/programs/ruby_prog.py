@@ -1,0 +1,645 @@
+"""A Ruby-subset parser: the ``ruby`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes MRI's parser; we
+implement a line-oriented recursive-descent parser for a Ruby subset:
+``def``/``end`` methods, ``if``/``elsif``/``else``/``unless``/``while``/
+``until`` with ``end``, ``do |x| ... end`` and ``{ |x| ... }`` blocks,
+``class``/``module``, method calls with or without parentheses, string
+literals (single- and double-quoted with ``#{...}`` interpolation),
+symbols, instance/global variables, arrays, hashes (``=>`` and ``key:``
+forms), ranges, and statement modifiers (``expr if cond``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.programs.base import ParseError
+
+ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789 \n()[]{}|.,:;=+-*/%<>!?@$#\"'&_"
+)
+
+_KEYWORDS = {
+    "def", "end", "if", "elsif", "else", "unless", "while", "until",
+    "do", "then", "class", "module", "return", "break", "next", "nil",
+    "true", "false", "not", "and", "or", "begin", "rescue", "ensure",
+    "case", "when", "yield", "self",
+}
+
+Token = Tuple[str, str]
+
+
+class _Tokenizer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: List[Token] = []
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def tokenize(self) -> List[Token]:
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "\n":
+                self.pos += 1
+                if self.tokens and self.tokens[-1][0] != "NEWLINE":
+                    self.tokens.append(("NEWLINE", "\n"))
+                continue
+            if char in " \t":
+                self.pos += 1
+                continue
+            if char == "#":
+                while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                    self.pos += 1
+                continue
+            self.read_token()
+        if self.tokens and self.tokens[-1][0] != "NEWLINE":
+            self.tokens.append(("NEWLINE", "\n"))
+        self.tokens.append(("EOF", ""))
+        return self.tokens
+
+    def read_token(self) -> None:
+        char = self.text[self.pos]
+        if char.isalpha() or char == "_":
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+            ):
+                self.pos += 1
+            # Trailing ? or ! are part of method names in Ruby.
+            if self.pos < len(self.text) and self.text[self.pos] in "?!":
+                self.pos += 1
+            word = self.text[start : self.pos]
+            base = word.rstrip("?!")
+            kind = "KEYWORD" if base in _KEYWORDS and word == base else "NAME"
+            self.tokens.append((kind, word))
+            return
+        if char == "@":
+            self.pos += 1
+            if self.pos < len(self.text) and self.text[self.pos] == "@":
+                self.pos += 1
+            self.read_identifier_tail("IVAR")
+            return
+        if char == "$":
+            self.pos += 1
+            self.read_identifier_tail("GVAR")
+            return
+        if char == ":":
+            nxt = self.text[self.pos + 1] if self.pos + 1 < len(self.text) else ""
+            if nxt == ":":
+                self.pos += 2
+                self.tokens.append(("OP", "::"))
+                return
+            if nxt.isalpha() or nxt == "_":
+                self.pos += 1
+                self.read_identifier_tail("SYMBOL")
+                return
+            self.pos += 1
+            self.tokens.append(("OP", ":"))
+            return
+        if char.isdigit():
+            start = self.pos
+            while self.pos < len(self.text) and self.text[self.pos].isdigit():
+                self.pos += 1
+            if (
+                self.pos + 1 < len(self.text)
+                and self.text[self.pos] == "."
+                and self.text[self.pos + 1].isdigit()
+            ):
+                self.pos += 1
+                while (
+                    self.pos < len(self.text)
+                    and self.text[self.pos].isdigit()
+                ):
+                    self.pos += 1
+            self.tokens.append(("NUMBER", self.text[start : self.pos]))
+            return
+        if char in "'\"":
+            self.read_string(char)
+            return
+        for op in (
+            "<=>", "||=", "&&=", "**", "==", "!=", "<=", ">=", "<<",
+            ">>", "&&", "||", "+=", "-=", "*=", "/=", "%=", "=>", "..",
+            "::", "=~",
+        ):
+            if self.text.startswith(op, self.pos):
+                self.pos += len(op)
+                self.tokens.append(("OP", op))
+                return
+        if char in "()[]{}|.,;=+-*/%<>!?&^~":
+            self.pos += 1
+            self.tokens.append(("OP", char))
+            return
+        raise self.error("illegal character {!r}".format(char))
+
+    def read_identifier_tail(self, kind: str) -> None:
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty {}".format(kind.lower()))
+        self.tokens.append((kind, self.text[start : self.pos]))
+
+    def read_string(self, quote: str) -> None:
+        self.pos += 1
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char == "\\":
+                self.pos += 2
+                continue
+            if char == quote:
+                self.pos += 1
+                self.tokens.append(("STRING", quote))
+                return
+            if quote == '"' and self.text.startswith("#{", self.pos):
+                depth = 1
+                self.pos += 2
+                while self.pos < len(self.text) and depth:
+                    inner = self.text[self.pos]
+                    if inner == "{":
+                        depth += 1
+                    elif inner == "}":
+                        depth -= 1
+                    elif inner == "\n":
+                        raise self.error("newline in interpolation")
+                    self.pos += 1
+                if depth:
+                    raise self.error("unterminated interpolation")
+                continue
+            if char == "\n":
+                raise self.error("newline in string")
+            self.pos += 1
+        raise self.error("unterminated string")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.index)
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token[0] != "EOF":
+            self.index += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token[0] == kind and (value is None or token[1] == value)
+
+    def match(self, kind: str, value: Optional[str] = None) -> bool:
+        if self.check(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            raise self.error(
+                "expected {} {!r}, got {!r}".format(kind, value, self.peek())
+            )
+        return self.advance()
+
+    def skip_terminators(self) -> None:
+        while self.match("NEWLINE") or self.match("OP", ";"):
+            pass
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> None:
+        self.skip_terminators()
+        while not self.check("EOF"):
+            self.parse_statement()
+            self.skip_terminators()
+        self.expect("EOF")
+
+    def parse_body_until(self, *stop_words: str) -> str:
+        """Parse statements until one of the stop keywords; return it."""
+        self.skip_terminators()
+        while True:
+            token = self.peek()
+            if token[0] == "KEYWORD" and token[1] in stop_words:
+                self.advance()
+                return token[1]
+            if token[0] == "EOF":
+                raise self.error(
+                    "expected one of {} before EOF".format(stop_words)
+                )
+            self.parse_statement()
+            self.skip_terminators()
+
+    def parse_statement(self) -> None:
+        token = self.peek()
+        if token[0] == "KEYWORD":
+            word = token[1]
+            if word == "def":
+                return self.parse_def()
+            if word in ("class", "module"):
+                return self.parse_class_or_module()
+            if word in ("if", "unless"):
+                return self.parse_if(word)
+            if word in ("while", "until"):
+                return self.parse_while()
+            if word == "case":
+                return self.parse_case()
+            if word == "begin":
+                return self.parse_begin()
+            if word in ("return", "break", "next"):
+                self.advance()
+                if not self.check("NEWLINE") and not self.check("EOF") and \
+                        not self.check("OP", ";") and not self._at_modifier():
+                    self.parse_expression()
+                self.parse_modifiers()
+                return
+        self.parse_expression_statement()
+
+    def _at_modifier(self) -> bool:
+        return self.check("KEYWORD", "if") or self.check(
+            "KEYWORD", "unless"
+        ) or self.check("KEYWORD", "while") or self.check("KEYWORD", "until")
+
+    def parse_modifiers(self) -> None:
+        while self._at_modifier():
+            self.advance()
+            self.parse_expression()
+
+    def parse_expression_statement(self) -> None:
+        self.parse_expression()
+        while self.check("OP") and self.peek()[1] in (
+            "=", "+=", "-=", "*=", "/=", "%=", "||=", "&&=",
+        ):
+            self.advance()
+            self.parse_expression()
+        self.parse_modifiers()
+
+    def parse_def(self) -> None:
+        self.expect("KEYWORD", "def")
+        if self.match("KEYWORD", "self"):
+            self.expect("OP", ".")
+            self.expect("NAME")  # class method: def self.name
+        else:
+            self.expect("NAME")
+        if self.match("OP", "."):
+            self.expect("NAME")  # singleton method def obj.name
+        if self.match("OP", "("):
+            self.parse_parameter_list(")")
+            self.expect("OP", ")")
+        elif not self.check("NEWLINE") and not self.check("OP", ";"):
+            self.parse_parameter_list(None)
+        self.parse_body_until("end")
+
+    def parse_parameter_list(self, closer: Optional[str]) -> None:
+        def at_close() -> bool:
+            if closer is not None:
+                return self.check("OP", closer)
+            return self.check("NEWLINE") or self.check("OP", ";")
+
+        if at_close():
+            return
+        while True:
+            if self.match("OP", "*") or self.match("OP", "&"):
+                self.expect("NAME")
+            else:
+                self.expect("NAME")
+                if self.match("OP", "="):
+                    self.parse_expression()
+            if not self.match("OP", ","):
+                return
+            if at_close():
+                raise self.error("trailing comma in parameters")
+
+    def parse_class_or_module(self) -> None:
+        self.advance()  # class | module
+        name = self.expect("NAME")
+        if not name[1][0].isupper() and not name[1][0] == "_":
+            raise self.error("class/module names must be constants")
+        if self.match("OP", "<"):
+            self.expect("NAME")
+        self.parse_body_until("end")
+
+    def parse_if(self, word: str) -> None:
+        self.expect("KEYWORD", word)
+        self.parse_expression()
+        self.match("KEYWORD", "then")
+        stop = self.parse_body_until("elsif", "else", "end")
+        while stop == "elsif":
+            self.parse_expression()
+            self.match("KEYWORD", "then")
+            stop = self.parse_body_until("elsif", "else", "end")
+        if stop == "else":
+            self.parse_body_until("end")
+
+    def parse_while(self) -> None:
+        self.advance()  # while | until
+        self.parse_expression()
+        self.match("KEYWORD", "do")
+        self.parse_body_until("end")
+
+    def parse_case(self) -> None:
+        self.expect("KEYWORD", "case")
+        if not self.check("NEWLINE"):
+            self.parse_expression()
+        self.skip_terminators()
+        if not self.check("KEYWORD", "when"):
+            raise self.error("case needs at least one when clause")
+        stop = "when"
+        while stop == "when":
+            self.expect("KEYWORD", "when")
+            self.parse_expression()
+            while self.match("OP", ","):
+                self.parse_expression()
+            self.match("KEYWORD", "then")
+            stop = self.parse_body_until("when", "else", "end")
+            if stop == "when":
+                self.index -= 1  # re-enter the loop on the when token
+        if stop == "else":
+            self.parse_body_until("end")
+
+    def parse_begin(self) -> None:
+        self.expect("KEYWORD", "begin")
+        stop = self.parse_body_until("rescue", "ensure", "end")
+        while stop == "rescue":
+            if self.check("NAME"):
+                self.advance()  # exception class
+            if self.match("OP", "=>"):
+                self.expect("NAME")  # binding: rescue [Class] => e
+            stop = self.parse_body_until("rescue", "ensure", "end")
+        if stop == "ensure":
+            self.parse_body_until("end")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> None:
+        self.parse_range()
+
+    def parse_range(self) -> None:
+        self.parse_or()
+        if self.match("OP", ".."):
+            self.parse_or()
+
+    def parse_or(self) -> None:
+        self.parse_and()
+        while self.match("OP", "||") or self.match("KEYWORD", "or"):
+            self.parse_and()
+
+    def parse_and(self) -> None:
+        self.parse_not()
+        while self.match("OP", "&&") or self.match("KEYWORD", "and"):
+            self.parse_not()
+
+    def parse_not(self) -> None:
+        if self.match("OP", "!") or self.match("KEYWORD", "not"):
+            self.parse_not()
+            return
+        self.parse_comparison()
+
+    def parse_comparison(self) -> None:
+        self.parse_additive()
+        while self.check("OP") and self.peek()[1] in (
+            "==", "!=", "<", ">", "<=", ">=", "<=>", "=~",
+        ):
+            self.advance()
+            self.parse_additive()
+
+    def parse_additive(self) -> None:
+        self.parse_multiplicative()
+        while self.check("OP") and self.peek()[1] in ("+", "-"):
+            self.advance()
+            self.parse_multiplicative()
+
+    def parse_multiplicative(self) -> None:
+        self.parse_unary()
+        while self.check("OP") and self.peek()[1] in ("*", "/", "%", "**"):
+            self.advance()
+            self.parse_unary()
+
+    def parse_unary(self) -> None:
+        if self.check("OP") and self.peek()[1] in ("-", "+"):
+            self.advance()
+        self.parse_postfix()
+
+    def parse_postfix(self) -> None:
+        self.parse_primary()
+        while True:
+            if self.match("OP", "."):
+                self.expect("NAME")
+                self.parse_optional_call_suffix()
+            elif self.match("OP", "::"):
+                self.expect("NAME")
+            elif self.match("OP", "["):
+                if not self.check("OP", "]"):
+                    self.parse_expression()
+                    while self.match("OP", ","):
+                        self.parse_expression()
+                self.expect("OP", "]")
+            else:
+                return
+
+    def parse_optional_call_suffix(self) -> None:
+        if self.match("OP", "("):
+            self.parse_arguments(")")
+            self.expect("OP", ")")
+        if self.check("KEYWORD", "do"):
+            self.parse_do_block()
+        elif self.check("OP", "{"):
+            self.parse_brace_block()
+
+    def parse_arguments(self, closer: str) -> None:
+        if self.check("OP", closer):
+            return
+        while True:
+            self.parse_argument()
+            if not self.match("OP", ","):
+                return
+
+    def parse_argument(self) -> None:
+        # key: value shorthand inside calls and hashes.
+        if (
+            self.check("NAME")
+            and self.tokens[self.index + 1] == ("OP", ":")
+        ):
+            self.advance()
+            self.advance()
+            self.parse_expression()
+            return
+        self.parse_expression()
+        if self.match("OP", "=>"):
+            self.parse_expression()
+
+    def parse_do_block(self) -> None:
+        self.expect("KEYWORD", "do")
+        if self.match("OP", "|"):
+            self.parse_block_params()
+        self.parse_body_until("end")
+
+    def parse_brace_block(self) -> None:
+        self.expect("OP", "{")
+        if self.match("OP", "|"):
+            self.parse_block_params()
+        self.skip_terminators()
+        if not self.check("OP", "}"):
+            self.parse_statement()
+            self.skip_terminators()
+            while not self.check("OP", "}"):
+                self.parse_statement()
+                self.skip_terminators()
+        self.expect("OP", "}")
+
+    def parse_block_params(self) -> None:
+        if self.match("OP", "|"):
+            return
+        self.expect("NAME")
+        while self.match("OP", ","):
+            self.expect("NAME")
+        self.expect("OP", "|")
+
+    def parse_primary(self) -> None:
+        token = self.peek()
+        if token[0] in ("NUMBER", "STRING", "SYMBOL", "IVAR", "GVAR"):
+            self.advance()
+            return
+        if token[0] == "KEYWORD" and token[1] in (
+            "nil", "true", "false", "self",
+        ):
+            self.advance()
+            return
+        if token == ("KEYWORD", "yield"):
+            self.advance()
+            if self.match("OP", "("):
+                self.parse_arguments(")")
+                self.expect("OP", ")")
+            return
+        if token[0] == "NAME":
+            self.advance()
+            if self.match("OP", "("):
+                self.parse_arguments(")")
+                self.expect("OP", ")")
+                if self.check("KEYWORD", "do"):
+                    self.parse_do_block()
+                elif self.check("OP", "{"):
+                    self.parse_brace_block()
+                return
+            if self.check("KEYWORD", "do"):
+                self.parse_do_block()
+            elif self.check("OP", "{"):
+                self.parse_brace_block()
+            elif self._starts_command_argument():
+                self.parse_argument()
+                while self.match("OP", ","):
+                    self.parse_argument()
+            return
+        if self.match("OP", "("):
+            self.parse_expression()
+            self.expect("OP", ")")
+            return
+        if self.match("OP", "["):
+            if not self.check("OP", "]"):
+                self.parse_expression()
+                while self.match("OP", ","):
+                    if self.check("OP", "]"):
+                        break
+                    self.parse_expression()
+            self.expect("OP", "]")
+            return
+        if self.match("OP", "{"):
+            if not self.check("OP", "}"):
+                self.parse_argument()
+                while self.match("OP", ","):
+                    self.parse_argument()
+            self.expect("OP", "}")
+            return
+        raise self.error("unexpected token {!r}".format(token))
+
+    def _starts_command_argument(self) -> bool:
+        """Paren-less call arguments: ``puts x`` — conservative subset."""
+        token = self.peek()
+        return token[0] in ("NUMBER", "STRING", "SYMBOL", "IVAR", "GVAR")
+
+
+def _profile(tokens: List[Token]) -> dict:
+    """Per-construct profiling pass (the front-end's post-parse analog)."""
+    stats = {}
+
+    def bump(key: str) -> None:
+        stats[key] = stats.get(key, 0) + 1
+
+    for kind, value in tokens:
+        if kind == "KEYWORD":
+            if value == "def":
+                bump("methods")
+            elif value in ("class", "module"):
+                bump("classes")
+            elif value in ("if", "elsif", "unless"):
+                bump("conditionals")
+            elif value in ("while", "until"):
+                bump("loops")
+            elif value == "do":
+                bump("do_blocks")
+            elif value in ("case", "when"):
+                bump("case_clauses")
+            elif value in ("begin", "rescue", "ensure"):
+                bump("exception_handling")
+            elif value == "yield":
+                bump("yields")
+            elif value in ("nil", "true", "false", "self"):
+                bump("constants")
+        elif kind == "SYMBOL":
+            bump("symbols")
+        elif kind == "IVAR":
+            bump("instance_vars")
+        elif kind == "GVAR":
+            bump("global_vars")
+        elif kind == "STRING":
+            bump("strings")
+        elif kind == "NUMBER":
+            bump("numbers")
+        elif kind == "OP":
+            if value == "=>":
+                bump("hash_rockets")
+            elif value == "..":
+                bump("ranges")
+            elif value == "<=>":
+                bump("spaceships")
+            elif value == "|":
+                bump("block_params")
+            elif value in ("&&", "||", "!"):
+                bump("boolean_ops")
+    return stats
+
+
+def accepts(text: str) -> bool:
+    """Run the front-end: tokenize, parse, and profile the program."""
+    try:
+        tokens = _Tokenizer(text).tokenize()
+        _Parser(tokens).parse_program()
+    except ParseError:
+        return False
+    _profile(tokens)
+    return True
+
+
+SEEDS = [
+    "puts 1\n",
+    "def greet(name)\n  puts \"hi #{name}\"\nend\n",
+    "[1, 2, 3].each do |x|\n  puts x\nend\n",
+    "class Dog\n  def bark\n    puts :woof\n  end\nend\n",
+    "x = {:a => 1, b: 2}\nif x\n  puts :big\nelsif y\n  puts :none\nend\n",
+    "case n\nwhen 1 then puts 'one'\nelse puts 'many'\nend\n",
+    "begin\n  risky\nrescue => e\n  puts e\nensure\n  done\nend\n",
+]

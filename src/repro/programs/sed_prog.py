@@ -1,0 +1,566 @@
+"""A sed implementation: the ``sed`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes GNU sed's script
+argument; we implement a faithful subset of sed — a parser for the
+script language (addresses: line numbers, ``$``, ``/regex/`` patterns,
+ranges, negation ``!``; the substitute command ``s/pat/repl/flags`` with
+arbitrary delimiters; transliteration ``y``; text commands
+``a``/``i``/``c``; labels and branches; blocks ``{}``; and the common
+one-letter commands) plus an *execution engine* that applies the parsed
+script to a fixed sample input (pattern/hold spaces, address matching
+with a small BRE matcher, branching with a cycle budget). Running the
+engine after parsing is what a real sed does, and it gives the §8.3
+coverage metric the post-parse code real programs have.
+
+A script is accepted iff it parses completely (execution is total).
+"""
+
+from __future__ import annotations
+
+from repro.programs.base import ParseError
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 /,;!$^.*[]\\{}=npqdxGghHlbt:aic-\n"
+
+_ASCII_DIGITS = "0123456789"
+
+_SIMPLE_COMMANDS = "dpqxGghHlnN="
+_TEXT_COMMANDS = "aic"
+_LABEL_COMMANDS = "bt"
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Low-level helpers
+    # ------------------------------------------------------------------
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        if self.at_end():
+            return ""
+        return self.text[self.pos]
+
+    def advance(self) -> str:
+        char = self.peek()
+        self.pos += 1
+        return char
+
+    def skip_blanks(self) -> None:
+        while self.peek() == " ":
+            self.pos += 1
+
+    def skip_separators(self) -> None:
+        while not self.at_end() and self.peek() in " ;\n":
+            self.pos += 1
+
+    # ------------------------------------------------------------------
+    # Script structure
+    # ------------------------------------------------------------------
+
+    def parse_script(self) -> list:
+        commands = []
+        self.skip_separators()
+        while not self.at_end():
+            commands.append(self.parse_command())
+            before = self.pos
+            self.skip_separators()
+            if self.pos == before and not self.at_end() and self.peek() != "}":
+                raise self.error("commands must be separated by ; or newline")
+            if self.peek() == "}":
+                raise self.error("unmatched closing brace")
+        # A script may be empty (sed accepts an empty program).
+        return commands
+
+    def parse_command(self) -> dict:
+        addresses = self.parse_addresses()
+        self.skip_blanks()
+        negated = False
+        if self.peek() == "!":
+            self.advance()
+            self.skip_blanks()
+            negated = True
+        char = self.peek()
+        if char == "":
+            raise self.error("missing command after address")
+        command = {"addr": addresses, "neg": negated, "op": char}
+        if char == "{":
+            command["body"] = self.parse_block()
+        elif char == "s":
+            command.update(self.parse_substitute())
+        elif char == "y":
+            command.update(self.parse_transliterate())
+        elif char in _TEXT_COMMANDS:
+            command["text"] = self.parse_text_command()
+        elif char in _LABEL_COMMANDS:
+            self.advance()
+            command["label"] = self.parse_label(optional=True)
+        elif char == ":":
+            self.advance()
+            command["label"] = self.parse_label(optional=False)
+        elif char in _SIMPLE_COMMANDS:
+            self.advance()
+        else:
+            raise self.error("unknown command {!r}".format(char))
+        return command
+
+    def parse_block(self) -> list:
+        self.advance()  # '{'
+        body = []
+        self.skip_separators()
+        while self.peek() != "}":
+            if self.at_end():
+                raise self.error("unterminated block")
+            body.append(self.parse_command())
+            self.skip_separators()
+        self.advance()  # '}'
+        return body
+
+    # ------------------------------------------------------------------
+    # Addresses
+    # ------------------------------------------------------------------
+
+    def parse_addresses(self) -> tuple:
+        first = self.parse_one_address()
+        if first is None:
+            return ()
+        self.skip_blanks()
+        if self.peek() == ",":
+            self.advance()
+            self.skip_blanks()
+            second = self.parse_one_address()
+            if second is None:
+                raise self.error("expected second address after comma")
+            return (first, second)
+        return (first,)
+
+    def parse_one_address(self):
+        char = self.peek()
+        if char == "$":
+            self.advance()
+            return ("last",)
+        if char and char in _ASCII_DIGITS:
+            start = self.pos
+            while not self.at_end() and self.peek() in _ASCII_DIGITS:
+                self.advance()
+            first = int(self.text[start : self.pos])
+            # GNU sed step addresses: first~step.
+            if self.peek() == "~":
+                self.advance()
+                if self.at_end() or self.peek() not in _ASCII_DIGITS:
+                    raise self.error("expected step after ~")
+                start = self.pos
+                while not self.at_end() and self.peek() in _ASCII_DIGITS:
+                    self.advance()
+                return ("step", first, int(self.text[start : self.pos]))
+            return ("line", first)
+        if char == "/":
+            self.advance()
+            return ("regex", self.parse_regex("/"))
+        return None
+
+    def parse_regex(self, delimiter: str) -> str:
+        """A delimiter-terminated basic regular expression."""
+        depth = 0  # bracket-expression nesting is flat but tracked
+        start = self.pos
+        while True:
+            char = self.peek()
+            if char == "":
+                raise self.error("unterminated regex")
+            if char == "\n":
+                raise self.error("newline inside regex")
+            if char == "\\":
+                self.advance()
+                if self.at_end():
+                    raise self.error("dangling backslash")
+                self.advance()
+                continue
+            if char == "[" and depth == 0:
+                depth = 1
+                self.advance()
+                if self.peek() == "^":
+                    self.advance()
+                if self.peek() == "]":
+                    self.advance()
+                continue
+            if char == "]" and depth == 1:
+                depth = 0
+                self.advance()
+                continue
+            if char == delimiter and depth == 0:
+                pattern = self.text[start : self.pos]
+                self.advance()
+                return pattern
+            self.advance()
+
+    # ------------------------------------------------------------------
+    # Individual commands
+    # ------------------------------------------------------------------
+
+    def parse_substitute(self) -> dict:
+        self.advance()  # 's'
+        delimiter = self.peek()
+        if delimiter in ("", "\n", "\\", ";"):
+            raise self.error("bad substitute delimiter")
+        self.advance()
+        pattern = self.parse_regex(delimiter)
+        replacement = self.parse_replacement(delimiter)
+        flags = self.parse_substitute_flags()
+        return {"pattern": pattern, "repl": replacement, "flags": flags}
+
+    def parse_replacement(self, delimiter: str) -> str:
+        start = self.pos
+        while True:
+            char = self.peek()
+            if char == "" or char == "\n":
+                raise self.error("unterminated replacement")
+            if char == "\\":
+                self.advance()
+                if self.at_end():
+                    raise self.error("dangling backslash in replacement")
+                self.advance()
+                continue
+            if char == delimiter:
+                replacement = self.text[start : self.pos]
+                self.advance()
+                return replacement
+            self.advance()
+
+    def parse_substitute_flags(self) -> set:
+        seen = set()
+        while True:
+            char = self.peek()
+            if char and char in _ASCII_DIGITS:
+                if "number" in seen:
+                    raise self.error("duplicate numeric flag")
+                while not self.at_end() and self.peek() in _ASCII_DIGITS:
+                    self.advance()
+                seen.add("number")
+            elif char and char in "gpi":
+                if char in seen:
+                    raise self.error("duplicate flag {!r}".format(char))
+                seen.add(char)
+                self.advance()
+            else:
+                return seen
+
+    def parse_transliterate(self) -> dict:
+        self.advance()  # 'y'
+        delimiter = self.peek()
+        if delimiter in ("", "\n", "\\", ";"):
+            raise self.error("bad transliterate delimiter")
+        self.advance()
+        source = self.parse_plain_until(delimiter)
+        destination = self.parse_plain_until(delimiter)
+        if len(source) != len(destination):
+            raise self.error("y/// strings must have equal length")
+        return {"src": source, "dst": destination}
+
+    def parse_plain_until(self, delimiter: str) -> str:
+        out = []
+        while True:
+            char = self.peek()
+            if char == "" or char == "\n":
+                raise self.error("unterminated y/// operand")
+            if char == "\\":
+                self.advance()
+                if self.at_end():
+                    raise self.error("dangling backslash")
+                out.append(self.advance())
+                continue
+            if char == delimiter:
+                self.advance()
+                return "".join(out)
+            out.append(self.advance())
+
+    def parse_text_command(self) -> str:
+        self.advance()  # 'a', 'i' or 'c'
+        if self.peek() == "\\":
+            self.advance()
+            if self.peek() != "\n":
+                raise self.error("expected newline after a\\")
+            self.advance()
+        else:
+            self.skip_blanks()
+        # The text runs to the end of the line.
+        start = self.pos
+        while not self.at_end() and self.peek() != "\n":
+            self.advance()
+        return self.text[start : self.pos]
+
+    def parse_label(self, optional: bool) -> str:
+        self.skip_blanks()
+        start = self.pos
+        while self.peek().isalnum() or self.peek() == "_":
+            self.advance()
+        if self.pos == start and not optional:
+            raise self.error("expected label")
+        return self.text[start : self.pos]
+
+
+def _bre_match_here(pattern: str, pos: int, text: str, at: int):
+    """Match a tiny BRE subset at a fixed position; return end or None.
+
+    Supports literals, ``.``, ``*`` (on the preceding single-character
+    atom), character classes, and ``\\``-escapes. Unsupported constructs
+    degrade to literal matching — the engine's job is exercising code
+    paths, not POSIX completeness.
+    """
+    if pos >= len(pattern):
+        return at
+
+    def atom_at(p):
+        """Return (matcher, next_pattern_pos) for the atom at p."""
+        char = pattern[p]
+        if char == "\\" and p + 1 < len(pattern):
+            literal = pattern[p + 1]
+            return (lambda c: c == literal), p + 2
+        if char == ".":
+            return (lambda c: True), p + 1
+        if char == "[":
+            negate = False
+            q = p + 1
+            if q < len(pattern) and pattern[q] == "^":
+                negate = True
+                q += 1
+            chars = set()
+            first = True
+            while q < len(pattern) and (pattern[q] != "]" or first):
+                if (
+                    q + 2 < len(pattern)
+                    and pattern[q + 1] == "-"
+                    and pattern[q + 2] != "]"
+                ):
+                    lo, hi = ord(pattern[q]), ord(pattern[q + 2])
+                    if lo <= hi:
+                        chars.update(chr(x) for x in range(lo, hi + 1))
+                    q += 3
+                else:
+                    chars.add(pattern[q])
+                    q += 1
+                first = False
+            q = min(q + 1, len(pattern))  # consume ']' if present
+            if negate:
+                return (lambda c: c not in chars), q
+            return (lambda c: c in chars), q
+        return (lambda c: c == char), p + 1
+
+    matcher, nxt = atom_at(pos)
+    starred = nxt < len(pattern) and pattern[nxt] == "*"
+    if starred:
+        # Greedy with backtracking over repetition counts.
+        count = 0
+        while at + count < len(text) and matcher(text[at + count]):
+            count += 1
+        while count >= 0:
+            end = _bre_match_here(pattern, nxt + 1, text, at + count)
+            if end is not None:
+                return end
+            count -= 1
+        return None
+    if at < len(text) and matcher(text[at]):
+        return _bre_match_here(pattern, nxt, text, at + 1)
+    return None
+
+
+def _bre_search(pattern: str, text: str):
+    """Find the leftmost match; return (start, end) or None."""
+    anchored = pattern.startswith("^")
+    body = pattern[1:] if anchored else pattern
+    if body.endswith("$") and not body.endswith("\\$"):
+        body = body[:-1]
+        for start in ([0] if anchored else range(len(text) + 1)):
+            end = _bre_match_here(body, 0, text, start)
+            if end is not None and end == len(text):
+                return start, end
+        return None
+    for start in ([0] if anchored else range(len(text) + 1)):
+        end = _bre_match_here(body, 0, text, start)
+        if end is not None:
+            return start, end
+    return None
+
+
+#: Fixed sample input the engine processes (a real sed run's stdin).
+_SAMPLE_LINES = [
+    "hello world",
+    "error: bad cat",
+    "foo bar foo",
+    "the last line",
+]
+
+_CYCLE_BUDGET = 200  # bounds b/t loops
+
+
+class _Engine:
+    """Apply a parsed script to the sample input (one-level sed)."""
+
+    def __init__(self, commands: list):
+        self.commands = commands
+        self.hold = ""
+        self.output = []
+        self.steps = 0
+
+    def run(self) -> str:
+        lines = list(_SAMPLE_LINES)
+        index = 0
+        while index < len(lines):
+            self.pattern = lines[index]
+            self.line_number = index + 1
+            self.is_last = index == len(lines) - 1
+            self.deleted = False
+            self.quit = False
+            verdict = self._run_commands(self.commands)
+            if not self.deleted:
+                self.output.append(self.pattern)
+            if self.quit or verdict == "quit":
+                break
+            index += 1
+        return "\n".join(self.output)
+
+    def _selected(self, command: dict) -> bool:
+        addresses = command["addr"]
+        if not addresses:
+            selected = True
+        else:
+            selected = self._match_address(addresses[0])
+            if len(addresses) == 2 and not selected:
+                # Range addresses: approximated as start-or-end match
+                # (full range state tracking is orthogonal to parsing).
+                selected = self._match_address(addresses[1])
+        if command["neg"]:
+            return not selected
+        return selected
+
+    def _match_address(self, address: tuple) -> bool:
+        kind = address[0]
+        if kind == "last":
+            return self.is_last
+        if kind == "line":
+            return self.line_number == address[1]
+        if kind == "step":
+            first, step = address[1], address[2]
+            if step <= 0:
+                return self.line_number == first
+            return (
+                self.line_number >= first
+                and (self.line_number - first) % step == 0
+            )
+        return _bre_search(address[1], self.pattern) is not None
+
+    def _run_commands(self, commands: list):
+        index = 0
+        while index < len(commands):
+            self.steps += 1
+            if self.steps > _CYCLE_BUDGET:
+                return "quit"
+            command = commands[index]
+            index += 1
+            if not self._selected(command):
+                continue
+            op = command["op"]
+            if op == "{":
+                if self._run_commands(command["body"]) == "quit":
+                    return "quit"
+            elif op == "s":
+                self._substitute(command)
+            elif op == "y":
+                table = str.maketrans(command["src"], command["dst"])
+                self.pattern = self.pattern.translate(table)
+            elif op == "d":
+                self.deleted = True
+                return None
+            elif op == "p":
+                self.output.append(self.pattern)
+            elif op == "q":
+                self.quit = True
+                return "quit"
+            elif op == "=":
+                self.output.append(str(self.line_number))
+            elif op == "l":
+                self.output.append(repr(self.pattern))
+            elif op == "g":
+                self.pattern = self.hold
+            elif op == "G":
+                self.pattern = self.pattern + "\n" + self.hold
+            elif op == "h":
+                self.hold = self.pattern
+            elif op == "H":
+                self.hold = self.hold + "\n" + self.pattern
+            elif op == "x":
+                self.pattern, self.hold = self.hold, self.pattern
+            elif op in ("n", "N"):
+                # Single-pass engine: treat as cycle end.
+                return None
+            elif op in ("a", "i", "c"):
+                self.output.append(command["text"])
+                if op == "c":
+                    self.deleted = True
+                    return None
+            elif op == "b":
+                target = self._find_label(commands, command.get("label"))
+                if target is None:
+                    return None  # branch to end of script
+                index = target
+            elif op == "t":
+                # No substitution-success tracking: branch never taken.
+                continue
+            elif op == ":":
+                continue
+        return None
+
+    def _find_label(self, commands: list, label):
+        if not label:
+            return None
+        for position, command in enumerate(commands):
+            if command["op"] == ":" and command.get("label") == label:
+                return position
+        return None
+
+    def _substitute(self, command: dict) -> None:
+        pattern, replacement = command["pattern"], command["repl"]
+        flags = command["flags"]
+        limit = len(self.pattern) + 1 if "g" in flags else 1
+        result = []
+        rest = self.pattern
+        replaced = 0
+        while rest and replaced < limit:
+            found = _bre_search(pattern, rest)
+            if found is None:
+                break
+            start, end = found
+            result.append(rest[:start])
+            result.append(replacement.replace("&", rest[start:end]))
+            rest = rest[end:] if end > start else rest[end + 1 :]
+            replaced += 1
+        self.pattern = "".join(result) + rest
+        if replaced and "p" in flags:
+            self.output.append(self.pattern)
+
+
+def accepts(text: str) -> bool:
+    """Run sed: parse the script and apply it to the sample input."""
+    try:
+        commands = _Parser(text).parse_script()
+    except ParseError:
+        return False
+    _Engine(commands).run()
+    return True
+
+
+SEEDS = [
+    "s/cat/dog/g",
+    "3d",
+    "/error/p",
+    "1,10s/a/b/",
+    "$!{p;d}",
+    "y/abc/xyz/",
+    ":loop\nb loop",
+]

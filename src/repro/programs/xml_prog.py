@@ -1,0 +1,334 @@
+"""An XML parser: the ``xml`` subject of §8.3.
+
+Substitution note (DESIGN.md §2): the paper fuzzes a C XML parser; we
+implement a well-formedness parser for general XML — arbitrary tag
+names with *matching* open/close tags (a context-sensitive property),
+attributes with the uniqueness constraint the paper highlights in §8.3
+(``<a a="" a=""></a>`` is invalid), both quote styles, entity references
+(named, decimal, hex), comments (with the ``--`` restriction), CDATA
+sections, processing instructions, and an optional XML declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.programs.base import ParseError
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 <>/=\"'!?&;#-[]._:\nCDAT"
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz_:")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+_KNOWN_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class _XMLParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, self.pos)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        if self.at_end():
+            return ""
+        return self.text[self.pos]
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error("expected {!r}".format(literal))
+        self.pos += len(literal)
+
+    def skip_whitespace(self) -> None:
+        while self.peek() in " \t\n\r" and not self.at_end():
+            self.pos += 1
+
+    # ------------------------------------------------------------------
+    # Document structure
+    # ------------------------------------------------------------------
+
+    def parse_document(self):
+        if self.text.startswith("<?xml", self.pos):
+            self.parse_pi()
+        self.skip_misc()
+        root = self.parse_element()
+        self.skip_misc()
+        if not self.at_end():
+            raise self.error("content after document element")
+        return root
+
+    def skip_misc(self) -> None:
+        while True:
+            self.skip_whitespace()
+            if self.text.startswith("<!--", self.pos):
+                self.parse_comment()
+            elif self.text.startswith("<?", self.pos):
+                self.parse_pi()
+            else:
+                return
+
+    def parse_name(self) -> str:
+        start = self.pos
+        if self.peek() not in _NAME_START:
+            raise self.error("expected a name")
+        while self.peek() in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def parse_element(self):
+        self.expect("<")
+        name = self.parse_name()
+        attributes = self.parse_attributes()
+        if self.text.startswith("/>", self.pos):
+            self.pos += 2
+            return ("elem", name, attributes, [])
+        self.expect(">")
+        children = self.parse_content()
+        self.expect("</")
+        closing = self.parse_name()
+        if closing != name:
+            raise self.error(
+                "mismatched tags: <{}> closed by </{}>".format(name, closing)
+            )
+        self.skip_whitespace()
+        self.expect(">")
+        return ("elem", name, attributes, children)
+
+    def parse_attributes(self):
+        seen: Set[str] = set()
+        attributes = []
+        while True:
+            had_space = False
+            while self.peek() in " \t\n\r" and not self.at_end():
+                self.pos += 1
+                had_space = True
+            if self.peek() in (">", "/", ""):
+                return attributes
+            if not had_space:
+                raise self.error("attributes must be space-separated")
+            name = self.parse_name()
+            if name in seen:
+                # The §8.3 example: repeated attribute names are invalid.
+                raise self.error("duplicate attribute {!r}".format(name))
+            seen.add(name)
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            value = self.parse_attribute_value()
+            attributes.append((name, value))
+
+    def parse_attribute_value(self) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("attribute value must be quoted")
+        self.pos += 1
+        out = []
+        while True:
+            char = self.peek()
+            if char == "":
+                raise self.error("unterminated attribute value")
+            if char == quote:
+                self.pos += 1
+                return "".join(out)
+            if char == "<":
+                raise self.error("'<' not allowed in attribute value")
+            if char == "&":
+                out.append(self.parse_entity())
+                continue
+            out.append(char)
+            self.pos += 1
+
+    def parse_content(self):
+        children = []
+        text_run = []
+
+        def flush():
+            if text_run:
+                children.append(("text", "".join(text_run)))
+                del text_run[:]
+
+        while True:
+            char = self.peek()
+            if char == "":
+                raise self.error("unterminated element content")
+            if char == "<":
+                if self.text.startswith("<!--", self.pos):
+                    flush()
+                    children.append(("comment", self.parse_comment()))
+                elif self.text.startswith("<![CDATA[", self.pos):
+                    flush()
+                    children.append(("cdata", self.parse_cdata()))
+                elif self.text.startswith("<?", self.pos):
+                    flush()
+                    children.append(("pi", self.parse_pi()))
+                elif self.text.startswith("</", self.pos):
+                    flush()
+                    return children
+                else:
+                    flush()
+                    children.append(self.parse_element())
+            elif char == "&":
+                text_run.append(self.parse_entity())
+            elif char == ">":
+                raise self.error("raw '>' in content")
+            else:
+                text_run.append(char)
+                self.pos += 1
+
+    def parse_entity(self) -> str:
+        self.expect("&")
+        if self.peek() == "#":
+            self.pos += 1
+            digits = "0123456789"
+            base = 10
+            if self.peek() == "x":
+                self.pos += 1
+                digits = "0123456789abcdef"
+                base = 16
+            start = self.pos
+            while self.peek() != "" and self.peek() in digits:
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty character reference")
+            code = int(self.text[start : self.pos], base)
+            self.expect(";")
+            if code == 0 or code > 0x10FFFF:
+                raise self.error("character reference out of range")
+            return chr(code)
+        name = self.parse_name()
+        if name not in _KNOWN_ENTITIES:
+            raise self.error("unknown entity &{};".format(name))
+        self.expect(";")
+        return _KNOWN_ENTITIES[name]
+
+    def parse_comment(self) -> str:
+        self.expect("<!--")
+        start = self.pos
+        while not self.text.startswith("-->", self.pos):
+            if self.at_end():
+                raise self.error("unterminated comment")
+            if self.text.startswith("--", self.pos):
+                raise self.error("'--' not allowed inside a comment")
+            self.pos += 1
+        body = self.text[start : self.pos]
+        self.pos += 3
+        return body
+
+    def parse_cdata(self) -> str:
+        self.expect("<![CDATA[")
+        end = self.text.find("]]>", self.pos)
+        if end < 0:
+            raise self.error("unterminated CDATA section")
+        body = self.text[self.pos : end]
+        self.pos = end + 3
+        return body
+
+    def parse_pi(self) -> str:
+        self.expect("<?")
+        target = self.parse_name()
+        end = self.text.find("?>", self.pos)
+        if end < 0:
+            raise self.error("unterminated processing instruction")
+        self.pos = end + 2
+        return target
+
+
+def _analyze(node, depth: int = 0) -> dict:
+    """DOM statistics pass (what a real consumer does after parsing)."""
+    stats = {
+        "max_depth": depth,
+        "elements": 0,
+        "attributes": 0,
+        "text_chars": 0,
+        "comments": 0,
+        "cdata": 0,
+        "pis": 0,
+    }
+    kind = node[0]
+    if kind == "elem":
+        stats["elements"] += 1
+        stats["attributes"] += len(node[2])
+        for child in node[3]:
+            sub = _analyze(child, depth + 1)
+            stats["max_depth"] = max(stats["max_depth"], sub["max_depth"])
+            for key in ("elements", "attributes", "text_chars",
+                        "comments", "cdata", "pis"):
+                stats[key] += sub[key]
+    elif kind == "text":
+        stats["text_chars"] += len(node[1])
+    elif kind == "comment":
+        stats["comments"] += 1
+    elif kind == "cdata":
+        stats["cdata"] += 1
+    elif kind == "pi":
+        stats["pis"] += 1
+    return stats
+
+
+def _escape(text: str) -> str:
+    out = []
+    for char in text:
+        if char == "&":
+            out.append("&amp;")
+        elif char == "<":
+            out.append("&lt;")
+        elif char == ">":
+            out.append("&gt;")
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def _serialize(node) -> str:
+    """Round-trip the DOM back to markup (a real tool's writer path)."""
+    kind = node[0]
+    if kind == "elem":
+        _tag, name, attributes, children = node
+        parts = ["<", name]
+        for attr_name, attr_value in attributes:
+            parts.append(' {}="{}"'.format(attr_name, _escape(attr_value)))
+        if not children:
+            parts.append("/>")
+            return "".join(parts)
+        parts.append(">")
+        for child in children:
+            parts.append(_serialize(child))
+        parts.append("</{}>".format(name))
+        return "".join(parts)
+    if kind == "text":
+        return _escape(node[1])
+    if kind == "comment":
+        return "<!--{}-->".format(node[1])
+    if kind == "cdata":
+        return "<![CDATA[{}]]>".format(node[1])
+    return "<?{}?>".format(node[1])
+
+
+def accepts(text: str) -> bool:
+    """Run the XML tool: parse, analyze, and re-serialize the document."""
+    try:
+        dom = _XMLParser(text).parse_document()
+    except ParseError:
+        return False
+    stats = _analyze(dom)
+    _serialize(dom)
+    del stats
+    return True
+
+
+SEEDS = [
+    '<note id="n1">\n<to>alice</to>\n<body>hi &amp; bye</body>\n</note>',
+    "<a><!-- c --><b x='1'/></a>",
+    '<?xml version="1.0"?>\n<doc a="1" b="two"><item n="2">&#38;</item></doc>',
+    "<list><![CDATA[raw <stuff>]]><?proc data?><x>&#x26;</x></list>",
+]

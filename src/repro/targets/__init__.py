@@ -1,0 +1,38 @@
+"""The four handwritten target languages of §8.2 (URL, Grep, Lisp, XML)."""
+
+from typing import Dict, List
+
+from repro.targets.base import TargetLanguage
+from repro.targets.grep import make_target as _make_grep
+from repro.targets.lisp import make_target as _make_lisp
+from repro.targets.url import make_target as _make_url
+from repro.targets.xmllang import make_target as _make_xml
+
+_FACTORIES = {
+    "url": _make_url,
+    "grep": _make_grep,
+    "lisp": _make_lisp,
+    "xml": _make_xml,
+}
+
+#: The paper's evaluation order (Figure 4).
+TARGET_NAMES: List[str] = ["url", "grep", "lisp", "xml"]
+
+
+def get_target(name: str) -> TargetLanguage:
+    """Return a fresh :class:`TargetLanguage` by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            "unknown target {!r}; choose from {}".format(name, TARGET_NAMES)
+        )
+    return factory()
+
+
+def all_targets() -> Dict[str, TargetLanguage]:
+    """Return all four §8.2 targets, keyed by name."""
+    return {name: get_target(name) for name in TARGET_NAMES}
+
+
+__all__ = ["TargetLanguage", "TARGET_NAMES", "get_target", "all_targets"]

@@ -1,0 +1,90 @@
+"""Target languages for the §8.2 language-inference comparison.
+
+Each target bundles the three things an experiment needs:
+
+- a **membership oracle** — a fast handwritten recognizer standing in for
+  "run the program and look for an error" (recognizers rather than Earley
+  so that the thousands of membership queries GLADE and the baselines
+  issue stay cheap);
+- a **sampling grammar** — the handwritten CFG of §8.2, sampled per §8.1
+  to produce seed inputs E_in and the recall test set E_rec;
+- the **alphabet** Σ used by character generalization and the baselines.
+
+The unit tests check the two views agree: every grammar sample must be
+accepted by the recognizer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.languages.cfg import Grammar
+from repro.languages.sampler import GrammarSampler
+
+
+@dataclass
+class TargetLanguage:
+    """A named target language L* with oracle and sampling distribution."""
+
+    name: str
+    description: str
+    oracle: Callable[[str], bool]
+    grammar: Grammar
+    alphabet: str
+    max_sample_depth: int = 25
+
+    def sampler(self, rng: Optional[random.Random] = None) -> GrammarSampler:
+        """Return a sampler for P_{L*} (the §8.1 uniform distribution)."""
+        return GrammarSampler(
+            self.grammar, rng=rng, max_depth=self.max_sample_depth
+        )
+
+    def sample_seeds(self, n: int, seed: int = 0) -> List[str]:
+        """Sample ``n`` distinct-ish seed inputs E_in ⊆ L*.
+
+        Samples are deduplicated but the count is preserved by drawing
+        more; every returned string is re-checked against the oracle so
+        a grammar/recognizer mismatch fails loudly rather than poisoning
+        an experiment.
+        """
+        sampler = self.sampler(random.Random(seed))
+        seeds: List[str] = []
+        seen = set()
+        attempts = 0
+        while len(seeds) < n and attempts < 100 * n:
+            attempts += 1
+            text = sampler.sample()
+            if text in seen:
+                continue
+            if not self.oracle(text):
+                raise AssertionError(
+                    "target {}: sampled string rejected by its own "
+                    "oracle: {!r}".format(self.name, text)
+                )
+            seen.add(text)
+            seeds.append(text)
+        if len(seeds) < n:
+            # Small languages may not have n distinct strings; repeat.
+            sampler2 = self.sampler(random.Random(seed + 1))
+            while len(seeds) < n:
+                seeds.append(sampler2.sample())
+        return seeds
+
+    def negative_samples(
+        self, n: int, seed: int = 0, max_length: int = 12
+    ) -> List[str]:
+        """Sample ``n`` random strings *not* in L* (RPNI's E_in^-)."""
+        rng = random.Random(seed)
+        alphabet = self.alphabet
+        negatives: List[str] = []
+        seen = set()
+        while len(negatives) < n:
+            length = rng.randint(0, max_length)
+            text = "".join(rng.choice(alphabet) for _ in range(length))
+            if text in seen or self.oracle(text):
+                continue
+            seen.add(text)
+            negatives.append(text)
+        return negatives

@@ -1,0 +1,132 @@
+"""The Grep target language (§8.2): GNU Grep's regular-expression syntax.
+
+Figure 5 shows the simplified fragment ``A → ([...] + \\(A\\))*`` —
+literal characters and backslash-parenthesized groups, arbitrarily
+nested. Our full target follows GNU Grep's basic regular expressions
+(BRE) a bit more closely: literals, ``.``, postfix ``*``, bracket
+expressions ``[...]`` (with optional leading ``^``), groups ``\\(...\\)``
+and alternation ``\\|``. The language of *grep patterns* is context-free
+(group nesting must balance).
+"""
+
+from __future__ import annotations
+
+from repro.languages.cfg import CharSet, Grammar, Nonterminal, Production
+from repro.targets.base import TargetLanguage
+
+_LITERALS = "abcdefghijklmnopqrstuvwxyz0123456789"
+_BRACKET_CHARS = _LITERALS + "."
+
+ALPHABET = _LITERALS + ".*[]^\\()|"
+
+
+def grep_oracle(text: str) -> bool:
+    """Recognize valid grep BRE patterns (recursive descent)."""
+
+    def parse_alternation(i: int) -> int:
+        """RE -> BRANCH ('\\|' BRANCH)*; returns end index or -1."""
+        i = parse_branch(i)
+        if i < 0:
+            return -1
+        while text.startswith("\\|", i):
+            i = parse_branch(i + 2)
+            if i < 0:
+                return -1
+        return i
+
+    def parse_branch(i: int) -> int:
+        """BRANCH -> PIECE+ (at least one piece)."""
+        i = parse_piece(i)
+        if i < 0:
+            return -1
+        while True:
+            j = parse_piece(i)
+            if j < 0:
+                return i
+            i = j
+
+    def parse_piece(i: int) -> int:
+        """PIECE -> ATOM '*'?"""
+        i = parse_atom(i)
+        if i < 0:
+            return -1
+        while i < len(text) and text[i] == "*":
+            i += 1
+        return i
+
+    def parse_atom(i: int) -> int:
+        if i >= len(text):
+            return -1
+        c = text[i]
+        if c in _LITERALS or c == ".":
+            return i + 1
+        if c == "[":
+            return parse_bracket(i + 1)
+        if text.startswith("\\(", i):
+            j = parse_alternation(i + 2)
+            if j < 0 or not text.startswith("\\)", j):
+                return -1
+            return j + 2
+        return -1
+
+    def parse_bracket(i: int) -> int:
+        """Bracket expression: '[' '^'? CHAR+ ']'"""
+        if i < len(text) and text[i] == "^":
+            i += 1
+        count = 0
+        while i < len(text) and text[i] in _BRACKET_CHARS:
+            i += 1
+            count += 1
+        if count == 0 or i >= len(text) or text[i] != "]":
+            return -1
+        return i + 1
+
+    return parse_alternation(0) == len(text)
+
+
+def _build_grammar() -> Grammar:
+    re_ = Nonterminal("RE")
+    branches = Nonterminal("BRANCHES")
+    branch = Nonterminal("BRANCH")
+    pieces = Nonterminal("PIECES")
+    piece = Nonterminal("PIECE")
+    stars = Nonterminal("STARS")
+    atom = Nonterminal("ATOM")
+    bracket = Nonterminal("BRACKET")
+    caret = Nonterminal("CARET")
+    brchars = Nonterminal("BRCHARS")
+
+    lit_class = CharSet(frozenset(_LITERALS + "."))
+    bracket_class = CharSet(frozenset(_BRACKET_CHARS))
+
+    productions = [
+        Production(re_, (branch, branches)),
+        Production(branches, ()),
+        Production(branches, ("\\|", branch, branches)),
+        Production(branch, (piece, pieces)),
+        Production(pieces, ()),
+        Production(pieces, (piece, pieces)),
+        Production(piece, (atom, stars)),
+        Production(stars, ()),
+        Production(stars, ("*", stars)),
+        Production(atom, (lit_class,)),
+        Production(atom, (bracket,)),
+        Production(atom, ("\\(", re_, "\\)")),
+        Production(bracket, ("[", caret, bracket_class, brchars, "]")),
+        Production(caret, ()),
+        Production(caret, ("^",)),
+        Production(brchars, ()),
+        Production(brchars, (bracket_class, brchars)),
+    ]
+    return Grammar(re_, productions)
+
+
+def make_target() -> TargetLanguage:
+    return TargetLanguage(
+        name="grep",
+        description="GNU Grep basic-regular-expression patterns (§8.2)",
+        oracle=grep_oracle,
+        grammar=_build_grammar(),
+        alphabet=ALPHABET,
+        max_sample_depth=12,
+    )

@@ -1,0 +1,145 @@
+"""The Lisp target language (§8.2): Norvig's "lispy" surface syntax.
+
+Figure 5 shows the simplified fragment
+
+    A → ([...][...]* ( ␣* ([...][...]* + A) )* )
+
+i.e. an s-expression: an open paren, a head symbol, space-separated
+arguments (symbols or nested s-expressions), close paren. Per §8.2 the
+full target also supports quoted strings, quote ``'`` syntax, and
+``;``-comments (treated as whitespace, terminated by a newline).
+"""
+
+from __future__ import annotations
+
+from repro.languages.cfg import CharSet, Grammar, Nonterminal, Production
+from repro.targets.base import TargetLanguage
+
+_SYMBOL_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789+-*/"
+_STRING_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 +-*/"
+_COMMENT_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 "
+
+ALPHABET = _SYMBOL_CHARS + " ();\"'\n"
+
+
+def lisp_oracle(text: str) -> bool:
+    """Recognize the Lisp s-expression language (recursive descent)."""
+
+    def parse_ws(i: int) -> int:
+        """One or more whitespace units (space or comment); -1 if none."""
+        start = i
+        while i < len(text):
+            if text[i] == " ":
+                i += 1
+            elif text[i] == ";":
+                j = i + 1
+                while j < len(text) and text[j] in _COMMENT_CHARS:
+                    j += 1
+                if j >= len(text) or text[j] != "\n":
+                    return -1
+                i = j + 1
+            else:
+                break
+        return i if i > start else -1
+
+    def parse_symbol(i: int) -> int:
+        start = i
+        while i < len(text) and text[i] in _SYMBOL_CHARS:
+            i += 1
+        return i if i > start else -1
+
+    def parse_string(i: int) -> int:
+        if i >= len(text) or text[i] != '"':
+            return -1
+        i += 1
+        while i < len(text) and text[i] in _STRING_CHARS:
+            i += 1
+        if i >= len(text) or text[i] != '"':
+            return -1
+        return i + 1
+
+    def parse_item(i: int) -> int:
+        if i >= len(text):
+            return -1
+        c = text[i]
+        if c == "(":
+            return parse_list(i)
+        if c == '"':
+            return parse_string(i)
+        if c == "'":
+            return parse_item(i + 1)
+        return parse_symbol(i)
+
+    def parse_list(i: int) -> int:
+        if i >= len(text) or text[i] != "(":
+            return -1
+        i = parse_symbol(i + 1)
+        if i < 0:
+            return -1
+        while True:
+            j = parse_ws(i)
+            if j < 0:
+                break
+            k = parse_item(j)
+            if k < 0:
+                return -1
+            i = k
+        if i < len(text) and text[i] == ")":
+            return i + 1
+        return -1
+
+    return parse_list(0) == len(text)
+
+
+def _build_grammar() -> Grammar:
+    start = Nonterminal("SEXPR")
+    tail = Nonterminal("TAIL")
+    item = Nonterminal("ITEM")
+    symbol = Nonterminal("SYMBOL")
+    symrest = Nonterminal("SYMREST")
+    string = Nonterminal("STRING")
+    strchars = Nonterminal("STRCHARS")
+    ws = Nonterminal("WS")
+    wsmore = Nonterminal("WSMORE")
+    wsunit = Nonterminal("WSUNIT")
+    comment = Nonterminal("COMMENT")
+    cmtchars = Nonterminal("CMTCHARS")
+
+    sym_class = CharSet(frozenset(_SYMBOL_CHARS))
+    str_class = CharSet(frozenset(_STRING_CHARS))
+    cmt_class = CharSet(frozenset(_COMMENT_CHARS))
+
+    productions = [
+        Production(start, ("(", symbol, tail, ")")),
+        Production(tail, ()),
+        Production(tail, (ws, item, tail)),
+        Production(item, (symbol,)),
+        Production(item, (start,)),
+        Production(item, (string,)),
+        Production(item, ("'", item)),
+        Production(symbol, (sym_class, symrest)),
+        Production(symrest, ()),
+        Production(symrest, (sym_class, symrest)),
+        Production(string, ('"', strchars, '"')),
+        Production(strchars, ()),
+        Production(strchars, (str_class, strchars)),
+        Production(ws, (wsunit, wsmore)),
+        Production(wsmore, ()),
+        Production(wsmore, (wsunit, wsmore)),
+        Production(wsunit, (" ",)),
+        Production(wsunit, (comment,)),
+        Production(comment, (";", cmtchars, "\n")),
+        Production(cmtchars, ()),
+        Production(cmtchars, (cmt_class, cmtchars)),
+    ]
+    return Grammar(start, productions)
+
+
+def make_target() -> TargetLanguage:
+    return TargetLanguage(
+        name="lisp",
+        description="Lisp s-expressions with strings and comments (§8.2)",
+        oracle=lisp_oracle,
+        grammar=_build_grammar(),
+        alphabet=ALPHABET,
+    )

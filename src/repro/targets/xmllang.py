@@ -1,0 +1,173 @@
+"""The XML target language (§8.2).
+
+Per the paper: "a grammar for XML parsers, including all XML constructs
+(attributes, comments, CDATA sections, etc.), except that only a fixed
+number of tags are included (to ensure that the grammar is context-free)".
+
+We fix the tag set to ``{a, b}``. Elements may self-close, carry
+attributes, and contain text, nested elements, comments ``<!-- -->``,
+CDATA sections ``<![CDATA[ ]]>`` and processing instructions ``<? ?>``.
+This target is purely context-free; the attribute-name-uniqueness
+constraint the paper discusses in §8.3 belongs to the XML *parser
+program* (see :mod:`repro.programs.xml_prog`), not to this grammar.
+"""
+
+from __future__ import annotations
+
+from repro.languages.cfg import CharSet, Grammar, Nonterminal, Production
+from repro.targets.base import TargetLanguage
+
+_TAGS = ("a", "b")
+_TEXT_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 ="
+_NAME_CHARS = "abcdefghijklmnopqrstuvwxyz"
+_VALUE_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 "
+_COMMENT_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 "
+_CDATA_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 <>"
+_PI_CHARS = "abcdefghijklmnopqrstuvwxyz0123456789 "
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 <>/=\"!-[]?CDAT"
+
+
+def xml_oracle(text: str) -> bool:
+    """Recognize the XML target language (recursive descent)."""
+
+    def parse_element(i: int) -> int:
+        if i >= len(text) or text[i] != "<":
+            return -1
+        for tag in _TAGS:
+            if text.startswith("<" + tag, i):
+                j = i + 1 + len(tag)
+                j = parse_attrs(j)
+                if j < 0:
+                    continue
+                if text.startswith("/>", j):
+                    return j + 2
+                if j < len(text) and text[j] == ">":
+                    j = parse_content(j + 1)
+                    close = "</" + tag + ">"
+                    if j >= 0 and text.startswith(close, j):
+                        return j + len(close)
+                return -1
+        return -1
+
+    def parse_attrs(i: int) -> int:
+        while i < len(text) and text[i] == " ":
+            j = i + 1
+            start = j
+            while j < len(text) and text[j] in _NAME_CHARS:
+                j += 1
+            if j == start or not text.startswith('="', j):
+                return -1
+            j += 2
+            while j < len(text) and text[j] in _VALUE_CHARS:
+                j += 1
+            if j >= len(text) or text[j] != '"':
+                return -1
+            i = j + 1
+        return i
+
+    def parse_content(i: int) -> int:
+        while i < len(text):
+            c = text[i]
+            if c in _TEXT_CHARS:
+                i += 1
+            elif text.startswith("<!--", i):
+                j = i + 4
+                while j < len(text) and text[j] in _COMMENT_CHARS:
+                    j += 1
+                if not text.startswith("-->", j):
+                    return -1
+                i = j + 3
+            elif text.startswith("<![CDATA[", i):
+                j = i + 9
+                while j < len(text) and text[j] in _CDATA_CHARS:
+                    j += 1
+                if not text.startswith("]]>", j):
+                    return -1
+                i = j + 3
+            elif text.startswith("<?", i):
+                j = i + 2
+                while j < len(text) and text[j] in _PI_CHARS:
+                    j += 1
+                if not text.startswith("?>", j):
+                    return -1
+                i = j + 2
+            elif text.startswith("</", i):
+                return i
+            elif c == "<":
+                j = parse_element(i)
+                if j < 0:
+                    return -1
+                i = j
+            else:
+                return -1
+        return i
+
+    return parse_element(0) == len(text)
+
+
+def _build_grammar() -> Grammar:
+    doc = Nonterminal("DOC")
+    attrs = Nonterminal("ATTRS")
+    name_rest = Nonterminal("NAME_REST")
+    value = Nonterminal("VALUE")
+    content = Nonterminal("CONTENT")
+    item = Nonterminal("ITEM")
+    comment_body = Nonterminal("COMMENT_BODY")
+    cdata_body = Nonterminal("CDATA_BODY")
+    pi_body = Nonterminal("PI_BODY")
+
+    text_class = CharSet(frozenset(_TEXT_CHARS))
+    name_class = CharSet(frozenset(_NAME_CHARS))
+    value_class = CharSet(frozenset(_VALUE_CHARS))
+    comment_class = CharSet(frozenset(_COMMENT_CHARS))
+    cdata_class = CharSet(frozenset(_CDATA_CHARS))
+    pi_class = CharSet(frozenset(_PI_CHARS))
+
+    productions = [
+        Production(attrs, ()),
+        Production(
+            attrs,
+            (" ", name_class, name_rest, '="', value, '"', attrs),
+        ),
+        Production(name_rest, ()),
+        Production(name_rest, (name_class, name_rest)),
+        Production(value, ()),
+        Production(value, (value_class, value)),
+        Production(content, ()),
+        Production(content, (item, content)),
+        Production(item, (text_class,)),
+        Production(item, ("<!--", comment_body, "-->")),
+        Production(item, ("<![CDATA[", cdata_body, "]]>")),
+        Production(item, ("<?", pi_body, "?>")),
+        Production(comment_body, ()),
+        Production(comment_body, (comment_class, comment_body)),
+        Production(cdata_body, ()),
+        Production(cdata_body, (cdata_class, cdata_body)),
+        Production(pi_body, ()),
+        Production(pi_body, (pi_class, pi_body)),
+    ]
+    for tag in _TAGS:
+        elem = Nonterminal("ELEM_" + tag)
+        productions.append(
+            Production(
+                elem,
+                ("<" + tag, attrs, ">", content, "</" + tag + ">"),
+            )
+        )
+        productions.append(Production(elem, ("<" + tag, attrs, "/>")))
+        productions.append(Production(item, (elem,)))
+    productions.append(Production(doc, (Nonterminal("ELEM_a"),)))
+    productions.append(Production(doc, (Nonterminal("ELEM_b"),)))
+    return Grammar(doc, productions)
+
+
+def make_target() -> TargetLanguage:
+    return TargetLanguage(
+        name="xml",
+        description="XML with attributes, comments, CDATA, PIs; tags {a,b}",
+        oracle=xml_oracle,
+        grammar=_build_grammar(),
+        alphabet=ALPHABET,
+        max_sample_depth=20,
+    )

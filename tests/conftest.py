@@ -1,0 +1,11 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(12345)

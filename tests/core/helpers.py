@@ -1,0 +1,24 @@
+"""Shared oracles for the GLADE core tests."""
+
+
+def xml_like_oracle(text: str) -> bool:
+    """The paper's Figure 1 language: A -> (a..z + <a>A</a>)*."""
+
+    def parse(i: int):
+        while i < len(text):
+            char = text[i]
+            if char.isalpha() and char.islower() and char not in "<>/":
+                i += 1
+            elif text.startswith("<a>", i):
+                inner = parse(i + 3)
+                if inner is None or not text.startswith("</a>", inner):
+                    return None
+                i = inner + 4
+            else:
+                return i
+        return i
+
+    return parse(0) == len(text)
+
+
+XML_ALPHABET = "abcdefghijklmnopqrstuvwxyz<>/"

@@ -1,0 +1,68 @@
+"""Tests for character generalization (§6.2)."""
+
+from repro.core.chargen import generalize_characters
+from repro.core.context import Context
+from repro.core.gtree import GConcat, GConst, GRoot, GStar
+from repro.core.phase1 import synthesize_regex
+from repro.learning.oracle import CountingOracle
+
+from tests.core.helpers import XML_ALPHABET, xml_like_oracle
+
+
+def test_xml_h_generalizes_to_all_lowercase():
+    """§6.2: h and i widen to a..z; < does not widen to a."""
+    result = synthesize_regex("<a>hi</a>", xml_like_oracle)
+    generalize_characters(result.root, xml_like_oracle, XML_ALPHABET)
+    expr = result.regex()
+    assert expr.matches("<a>qrs</a>")
+    assert not expr.matches("aa>hi</a>")  # the paper's rejected check
+
+
+def test_context_is_used_in_checks():
+    queries = []
+
+    def oracle(text):
+        queries.append(text)
+        return True
+
+    const = GConst("xy", Context("L", "R"))
+    root = GRoot(const)
+    generalize_characters(root, oracle, "xyz")
+    # Checks replace one position at a time, wrapped in (L, R).
+    assert "LzyR" in queries
+    assert "LxzR" in queries
+    # Never the two positions at once.
+    assert "LzzR" not in queries
+
+
+def test_each_pair_considered_once():
+    counting = CountingOracle(lambda s: True)
+    const = GConst("ab", Context())
+    generalize_characters(GRoot(const), counting, "abc")
+    # Positions 2 × candidate chars (|Σ|-1 each) = 4 queries.
+    assert counting.queries == 4
+
+
+def test_accepted_chars_accumulate_into_classes():
+    const = GConst("a", Context())
+    generalize_characters(GRoot(const), lambda s: s in ("b", "c"), "abcd")
+    assert const.classes[0] == {"a", "b", "c"}
+
+
+def test_rejected_chars_not_added():
+    const = GConst("a", Context())
+    generalize_characters(GRoot(const), lambda s: False, "abc")
+    assert const.classes[0] == {"a"}
+
+
+def test_constants_inside_stars_are_generalized():
+    inner = GConst("x", Context("(", ")"))
+    root = GRoot(GStar(inner, "x", Context()))
+    generalize_characters(root, lambda s: s == "(y)", "xy")
+    assert inner.classes[0] == {"x", "y"}
+
+
+def test_return_value_counts_generalizations():
+    const = GConst("aa", Context())
+    count = generalize_characters(GRoot(const), lambda s: True, "ab")
+    assert count == 2  # one accepted char per position

@@ -1,0 +1,31 @@
+"""Tests for the (γ, δ) context abstraction."""
+
+from repro.core.context import Context
+
+
+def test_wrap():
+    assert Context("ab", "cd").wrap("X") == "abXcd"
+
+
+def test_empty_context_is_identity():
+    assert Context().wrap("anything") == "anything"
+
+
+def test_extend_appends_on_correct_sides():
+    # §4.3: context for [α₂]_alt inside α₁([α₂]_alt)*[α₃]_rep is (γα₁, α₃δ).
+    outer = Context("G", "D")
+    inner = outer.extend("a1", "a3")
+    assert inner.left == "Ga1"
+    assert inner.right == "a3D"
+    assert inner.wrap("x") == "Ga1xa3D"
+
+
+def test_extend_chains():
+    context = Context().extend("a", "z").extend("b", "y")
+    assert context.wrap("-") == "ab-yz"
+
+
+def test_immutability_and_equality():
+    context = Context("l", "r")
+    assert context.extend("", "") == context
+    assert hash(Context("a", "b")) == hash(Context("a", "b"))

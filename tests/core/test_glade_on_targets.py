@@ -1,0 +1,90 @@
+"""Regression tests: GLADE end-to-end quality on the §8.2 targets.
+
+These pin the reproduction's quality floor so algorithmic changes that
+silently hurt precision or recall fail loudly. Thresholds are set below
+the currently measured values (EXPERIMENTS.md) with slack for sampling
+noise; the paper's shape — recall near 1 for regular targets, GLADE far
+above the baselines — is what they guard.
+"""
+
+import random
+
+import pytest
+
+from repro.core.glade import GladeConfig, learn_grammar
+from repro.languages.earley import recognize
+from repro.languages.sampler import GrammarSampler
+from repro.targets import get_target
+
+N_SEEDS = 8
+N_EVAL = 120
+
+
+def _learn(name):
+    target = get_target(name)
+    seeds = sorted(target.sample_seeds(N_SEEDS, seed=0), key=len)
+    result = learn_grammar(
+        seeds, target.oracle, GladeConfig(alphabet=target.alphabet)
+    )
+    return target, result
+
+
+def _precision(target, result) -> float:
+    sampler = GrammarSampler(
+        result.grammar, random.Random(1), max_depth=10
+    )
+    return sum(
+        target.oracle(sampler.sample()) for _ in range(N_EVAL)
+    ) / N_EVAL
+
+
+def _recall(target, result) -> float:
+    sampler = target.sampler(random.Random(5))
+    return sum(
+        recognize(result.grammar, sampler.sample())
+        for _ in range(N_EVAL)
+    ) / N_EVAL
+
+
+@pytest.mark.parametrize(
+    "name,min_precision,min_recall",
+    [
+        ("url", 0.30, 0.90),
+        ("grep", 0.20, 0.80),
+        ("lisp", 0.25, 0.55),
+        ("xml", 0.70, 0.50),
+    ],
+)
+def test_quality_floor(name, min_precision, min_recall):
+    target, result = _learn(name)
+    assert _precision(target, result) >= min_precision
+    assert _recall(target, result) >= min_recall
+
+
+def test_xml_greedy_split_limitation_is_faithful():
+    """§7's limitation, reproduced on the real XML target: greedy phase
+    one prefers the shorter α₁ = "<a" split, yielding the crossed
+    ``<a(><b>…</b)*></a>`` structure whose repetition cannot merge into
+    tag recursion. (The Figure-1 language *does* recover recursion —
+    see tests/core/test_figure2.py — because there the top level is
+    itself a repetition; a single-rooted document denies phase two the
+    outer star it would need.)"""
+    target = get_target("xml")
+    result = learn_grammar(
+        ["<a><b>x</b><b>y</b></a>"],
+        target.oracle,
+        GladeConfig(alphabet=target.alphabet, enable_chargen=False),
+    )
+    regex = str(result.regex())
+    assert regex.startswith("<a(><b>")  # the §7 crossed split
+    # Sibling repetition generalizes...
+    assert recognize(result.grammar, "<a><b>x</b><b>x</b><b>x</b></a>")
+    # ...but nesting does not (faithful greedy suboptimality).
+    assert not recognize(result.grammar, "<a><b><b>x</b></b></a>")
+
+
+def test_grep_learns_group_nesting():
+    target, result = _learn("grep")
+    nested = "\\(\\(\\(a\\)\\)\\)"
+    assert target.oracle(nested)
+    assert recognize(result.grammar, nested)

@@ -1,0 +1,24 @@
+"""The Figure 7(b) test-suite corpora must be valid for their parsers."""
+
+import pytest
+
+from repro.evaluation.corpora import CORPORA
+from repro.programs import get_subject
+
+
+@pytest.mark.parametrize("name", sorted(CORPORA))
+def test_corpus_entries_all_valid(name):
+    subject = get_subject(name)
+    invalid = [c for c in CORPORA[name] if not subject.accepts(c)]
+    assert invalid == []
+
+
+@pytest.mark.parametrize("name", sorted(CORPORA))
+def test_corpus_is_reasonably_large(name):
+    assert len(CORPORA[name]) >= 40
+
+
+@pytest.mark.parametrize("name", sorted(CORPORA))
+def test_corpus_has_no_duplicates(name):
+    corpus = CORPORA[name]
+    assert len(set(corpus)) == len(corpus)

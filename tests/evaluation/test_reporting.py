@@ -1,0 +1,29 @@
+"""Tests for the table/series formatters."""
+
+from repro.evaluation.reporting import format_series, format_table
+
+
+def test_table_alignment():
+    rendered = format_table(
+        ["name", "value"], [["a", 1], ["longer", 2.5]]
+    )
+    lines = rendered.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "2.500" in lines[3]
+
+
+def test_table_column_width_from_data():
+    rendered = format_table(["x"], [["wide-cell-content"]])
+    header, rule, row = rendered.splitlines()
+    assert len(rule) == len("wide-cell-content")
+
+
+def test_series_layout():
+    rendered = format_series(
+        "title", [1, 2], [("p", [0.5, 0.6]), ("r", [0.7, 0.8])]
+    )
+    lines = rendered.splitlines()
+    assert lines[0] == "title"
+    assert "0.600" in rendered
+    assert "0.800" in rendered

@@ -1,0 +1,58 @@
+"""Tests for the afl-like coverage-guided fuzzer."""
+
+import random
+
+from repro.fuzzing.afl import AFLFuzzer
+from repro.programs import get_subject
+
+
+def test_budget_respected():
+    subject = get_subject("sed")
+    fuzzer = AFLFuzzer(subject, random.Random(0))
+    executed = fuzzer.run(120)
+    assert len(executed) == 120
+    assert fuzzer.stats.executions == 120
+
+
+def test_seeds_executed_first():
+    subject = get_subject("grep")
+    fuzzer = AFLFuzzer(subject, random.Random(1))
+    executed = fuzzer.run(60)
+    assert executed[: len(subject.seeds)] == subject.seeds
+
+
+def test_queue_grows_beyond_seeds():
+    subject = get_subject("xml")
+    fuzzer = AFLFuzzer(subject, random.Random(2))
+    fuzzer.run(250)
+    # Coverage feedback must have promoted at least the seeds plus some
+    # mutants into the queue.
+    assert fuzzer.stats.queue_size > len(subject.seeds)
+    assert fuzzer.stats.total_edges > 0
+
+
+def test_deterministic_stage_flips_bits():
+    subject = get_subject("sed")
+    fuzzer = AFLFuzzer(subject, random.Random(3))
+    mutants = list(fuzzer._deterministic_stage("ab"))
+    assert len(mutants) == 14  # 2 chars x 7 bits
+    assert all(len(m) == 2 for m in mutants)
+    # Flipping bit 1 of 'a' (0x61) gives 'c' (0x63); bit 0 gives '`'.
+    assert "cb" in mutants
+    assert "`b" in mutants
+
+
+def test_havoc_respects_max_length():
+    subject = get_subject("sed")
+    fuzzer = AFLFuzzer(
+        subject, random.Random(4), max_input_length=64
+    )
+    executed = fuzzer.run(150)
+    assert all(len(text) <= 64 for text in executed)
+
+
+def test_deterministic_given_seeded_rng():
+    subject = get_subject("grep")
+    first = AFLFuzzer(subject, random.Random(7)).run(100)
+    second = AFLFuzzer(subject, random.Random(7)).run(100)
+    assert first == second

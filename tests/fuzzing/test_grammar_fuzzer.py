@@ -1,0 +1,71 @@
+"""Tests for the grammar-based fuzzer (§8.3)."""
+
+import random
+
+import pytest
+
+from repro.fuzzing.grammar_fuzzer import GrammarFuzzer
+from repro.languages.cfg import Grammar, Nonterminal, Production
+from repro.languages.earley import recognize
+
+S = Nonterminal("S")
+
+
+def paren_grammar() -> Grammar:
+    return Grammar(
+        S,
+        [
+            Production(S, ()),
+            Production(S, ("(", S, ")", S)),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            GrammarFuzzer(paren_grammar(), [])
+
+    def test_requires_parseable_seed(self):
+        with pytest.raises(ValueError):
+            GrammarFuzzer(paren_grammar(), ["((("])
+
+    def test_unparseable_seeds_recorded(self):
+        fuzzer = GrammarFuzzer(paren_grammar(), ["()", ")("])
+        assert fuzzer.unparsed_seeds == [")("]
+        assert len(fuzzer.seed_trees) == 1
+
+
+class TestGeneration:
+    def test_outputs_stay_in_grammar_language(self):
+        grammar = paren_grammar()
+        fuzzer = GrammarFuzzer(
+            grammar, ["(())", "()()"], random.Random(0)
+        )
+        for text in fuzzer.generate(150):
+            assert recognize(grammar, text), text
+
+    def test_deterministic_with_seeded_rng(self):
+        grammar = paren_grammar()
+        first = GrammarFuzzer(grammar, ["()"], random.Random(5))
+        second = GrammarFuzzer(grammar, ["()"], random.Random(5))
+        assert first.generate(25) == second.generate(25)
+
+    def test_produces_inputs_beyond_seeds(self):
+        grammar = paren_grammar()
+        fuzzer = GrammarFuzzer(grammar, ["()"], random.Random(1))
+        outputs = set(fuzzer.generate(200))
+        assert outputs - {"()"}  # mutation does generalize
+
+    def test_zero_mutation_budget_reproduces_seeds(self):
+        grammar = paren_grammar()
+        fuzzer = GrammarFuzzer(
+            grammar, ["(())"], random.Random(2), max_mutations=0
+        )
+        assert set(fuzzer.generate(10)) == {"(())"}
+
+    def test_iterator_protocol(self):
+        fuzzer = GrammarFuzzer(paren_grammar(), ["()"], random.Random(3))
+        stream = iter(fuzzer)
+        values = [next(stream) for _ in range(5)]
+        assert len(values) == 5

@@ -1,0 +1,44 @@
+"""Tests for the naive insert/delete fuzzer (§8.3)."""
+
+import random
+
+import pytest
+
+from repro.fuzzing.naive_fuzzer import NaiveFuzzer
+
+
+def test_requires_seeds_and_alphabet():
+    with pytest.raises(ValueError):
+        NaiveFuzzer([], "ab")
+    with pytest.raises(ValueError):
+        NaiveFuzzer(["x"], "")
+
+
+def test_outputs_use_alphabet_and_seed_chars():
+    fuzzer = NaiveFuzzer(["abc"], "xy", random.Random(0))
+    for text in fuzzer.generate(100):
+        assert set(text) <= set("abcxy")
+
+
+def test_deterministic_with_seeded_rng():
+    first = NaiveFuzzer(["seed"], "ab", random.Random(9))
+    second = NaiveFuzzer(["seed"], "ab", random.Random(9))
+    assert first.generate(30) == second.generate(30)
+
+
+def test_mutation_count_bounded():
+    fuzzer = NaiveFuzzer(["aaaa"], "b", random.Random(1), max_mutations=3)
+    for text in fuzzer.generate(200):
+        # At most 3 inserts: length can grow by at most 3.
+        assert len(text) <= 7
+
+
+def test_empty_seed_supported():
+    fuzzer = NaiveFuzzer([""], "z", random.Random(2))
+    outputs = set(fuzzer.generate(50))
+    assert "" in outputs or any("z" in o for o in outputs)
+
+
+def test_zero_mutations_reproduce_seed():
+    fuzzer = NaiveFuzzer(["keep"], "x", random.Random(3), max_mutations=0)
+    assert set(fuzzer.generate(10)) == {"keep"}

@@ -1,0 +1,63 @@
+"""Tests for Thompson NFA construction and simulation."""
+
+from repro.languages import regex as rx
+from repro.languages.nfa_match import NFA, compile_regex, regex_matches
+
+
+class TestNFAPrimitives:
+    def test_manual_automaton(self):
+        nfa = NFA()
+        s0, s1, s2 = nfa.new_state(), nfa.new_state(), nfa.new_state()
+        nfa.start, nfa.accept = s0, s2
+        nfa.add_char(s0, frozenset("a"), s1)
+        nfa.add_eps(s1, s2)
+        assert nfa.matches("a")
+        assert not nfa.matches("")
+        assert not nfa.matches("aa")
+
+    def test_eps_closure_transitive(self):
+        nfa = NFA()
+        states = [nfa.new_state() for _ in range(4)]
+        nfa.add_eps(states[0], states[1])
+        nfa.add_eps(states[1], states[2])
+        closure = nfa.eps_closure(frozenset({states[0]}))
+        assert states[2] in closure
+        assert states[3] not in closure
+
+    def test_step_dead_end(self):
+        nfa = NFA()
+        s0 = nfa.new_state()
+        nfa.start = nfa.accept = s0
+        assert nfa.step(frozenset({s0}), "x") == frozenset()
+
+
+class TestCompilation:
+    def test_no_exponential_blowup(self):
+        # (a|aa)^16 — catastrophic for backtrackers, linear here.
+        unit = rx.alt(rx.Lit("a"), rx.Lit("aa"))
+        expr = rx.Concat([unit] * 16)
+        nfa = compile_regex(expr)
+        assert nfa.matches("a" * 16)
+        assert nfa.matches("a" * 24)
+        assert not nfa.matches("a" * 15)
+
+    def test_star_zero_iterations(self):
+        assert regex_matches(rx.star(rx.Lit("abc")), "")
+
+    def test_empty_set_matches_nothing(self):
+        nfa = compile_regex(rx.EMPTY)
+        assert not nfa.matches("")
+        assert not nfa.matches("a")
+
+    def test_charclass_edge(self):
+        nfa = compile_regex(rx.CharClass(frozenset("pq")))
+        assert nfa.matches("p")
+        assert nfa.matches("q")
+        assert not nfa.matches("r")
+
+    def test_deep_nesting(self):
+        expr = rx.Lit("x")
+        for _ in range(30):
+            expr = rx.star(rx.concat(expr, rx.Lit("y")))
+        nfa = compile_regex(expr)
+        assert nfa.matches("")  # outermost star

@@ -1,0 +1,118 @@
+"""Tests for grammar and regex sampling (§8.1)."""
+
+import random
+
+import pytest
+
+from repro.languages.cfg import CharSet, Grammar, Nonterminal, Production
+from repro.languages.earley import recognize
+from repro.languages.regex import CharClass, Lit, alt, concat, star
+from repro.languages.sampler import GrammarSampler, sample_regex
+
+S = Nonterminal("S")
+
+
+def recursive_grammar() -> Grammar:
+    return Grammar(
+        S,
+        [
+            Production(S, ()),
+            Production(S, ("(", S, ")", S)),
+        ],
+    )
+
+
+class TestGrammarSampler:
+    def test_samples_are_in_language(self):
+        grammar = recursive_grammar()
+        sampler = GrammarSampler(grammar, random.Random(0))
+        for _ in range(100):
+            assert recognize(grammar, sampler.sample())
+
+    def test_deterministic_given_seed(self):
+        grammar = recursive_grammar()
+        first = GrammarSampler(grammar, random.Random(42))
+        second = GrammarSampler(grammar, random.Random(42))
+        assert [first.sample() for _ in range(20)] == [
+            second.sample() for _ in range(20)
+        ]
+
+    def test_depth_limit_terminates_explosive_grammar(self):
+        # S -> S S | 'a' has unbounded expected size under uniform choice.
+        grammar = Grammar(
+            S, [Production(S, (S, S)), Production(S, ("a",))]
+        )
+        sampler = GrammarSampler(
+            grammar, random.Random(1), max_depth=8, max_nodes=200
+        )
+        for _ in range(50):
+            text = sampler.sample()
+            assert text
+            assert set(text) == {"a"}
+
+    def test_node_budget_bounds_width(self):
+        # Several recursive productions per head: heavy-tailed width.
+        grammar = Grammar(
+            S,
+            [
+                Production(S, ()),
+                Production(S, (S, "a")),
+                Production(S, (S, "b")),
+                Production(S, (S, "c")),
+            ],
+        )
+        sampler = GrammarSampler(
+            grammar, random.Random(2), max_depth=500, max_nodes=100
+        )
+        for _ in range(30):
+            assert len(sampler.sample()) <= 120
+
+    def test_unproductive_start_raises(self):
+        grammar = Grammar(S, [Production(S, (S, "a"))])
+        with pytest.raises(ValueError):
+            GrammarSampler(grammar)
+
+    def test_charset_sampling(self):
+        grammar = Grammar(
+            S, [Production(S, (CharSet(frozenset("xyz")),))]
+        )
+        sampler = GrammarSampler(grammar, random.Random(3))
+        seen = {sampler.sample() for _ in range(60)}
+        assert seen == {"x", "y", "z"}
+
+    def test_sample_tree_text_matches_sample(self):
+        grammar = recursive_grammar()
+        sampler = GrammarSampler(grammar, random.Random(4))
+        tree = sampler.sample_tree()
+        assert recognize(grammar, tree.text())
+
+    def test_sample_from_named_nonterminal(self):
+        t = Nonterminal("T")
+        grammar = Grammar(
+            S, [Production(S, (t, t)), Production(t, ("q",))]
+        )
+        sampler = GrammarSampler(grammar, random.Random(5))
+        assert sampler.sample(t) == "q"
+        assert sampler.sample() == "qq"
+
+
+class TestRegexSampler:
+    def test_samples_match_expression(self):
+        expr = concat(
+            star(alt(Lit("ab"), CharClass(frozenset("xy")))), Lit("!")
+        )
+        rng = random.Random(0)
+        for _ in range(100):
+            assert expr.matches(sample_regex(expr, rng))
+
+    def test_star_respects_max_reps(self):
+        expr = star(Lit("a"))
+        rng = random.Random(1)
+        for _ in range(50):
+            assert len(sample_regex(expr, rng, max_reps=3)) <= 3
+
+    def test_empty_language_raises(self):
+        from repro.languages.regex import EMPTY
+
+        with pytest.raises(ValueError):
+            sample_regex(EMPTY, random.Random(0))

@@ -1,0 +1,100 @@
+"""Tests for the subprocess oracle and the CLI (real-executable mode)."""
+
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.learning.oracle import SubprocessOracle
+
+# A tiny validator run as a real subprocess: accepts strings of a's.
+_VALIDATOR = (
+    "import sys; text = sys.stdin.read(); "
+    "sys.exit(0 if text and set(text) <= {'a'} else 1)"
+)
+
+
+def _oracle(**kwargs) -> SubprocessOracle:
+    return SubprocessOracle(
+        [sys.executable, "-c", _VALIDATOR], **kwargs
+    )
+
+
+class TestSubprocessOracle:
+    def test_accepts_valid_input(self):
+        assert _oracle()("aaa")
+
+    def test_rejects_invalid_input(self):
+        assert not _oracle()("abc")
+        assert not _oracle()("")
+
+    def test_missing_binary_rejects(self):
+        oracle = SubprocessOracle(["/nonexistent/binary-xyz"])
+        assert not oracle("anything")
+
+    def test_file_input_mode(self):
+        script = (
+            "import sys; text = open(sys.argv[1]).read(); "
+            "sys.exit(0 if text == 'ok' else 1)"
+        )
+        oracle = SubprocessOracle(
+            [sys.executable, "-c", script, "{input}"],
+            input_mode="file",
+        )
+        assert oracle("ok")
+        assert not oracle("nope")
+
+    def test_error_marker(self):
+        script = (
+            "import sys; text = sys.stdin.read();\n"
+            "if 'x' in text: print('parse error', file=sys.stderr)\n"
+            "sys.exit(0)"
+        )
+        oracle = SubprocessOracle(
+            [sys.executable, "-c", script], error_marker="parse error"
+        )
+        assert oracle("clean")
+        assert not oracle("xx")
+
+    def test_bad_input_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SubprocessOracle(["true"], input_mode="socket")
+
+
+class TestCLI:
+    def test_learn_from_inline_seed(self, capsys, tmp_path):
+        command = "{} -c \"{}\"".format(sys.executable, _VALIDATOR)
+        code = cli_main(
+            [
+                "learn",
+                "--command", command,
+                "--seed", "aa",
+                "--alphabet", "ab",
+                "--samples", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase-one regex" in out
+        assert "sample:" in out
+
+    def test_learn_from_seed_file(self, capsys, tmp_path):
+        seed_file = tmp_path / "seeds.txt"
+        seed_file.write_text("a\naa\n")
+        command = "{} -c \"{}\"".format(sys.executable, _VALIDATOR)
+        code = cli_main(
+            [
+                "learn",
+                "--command", command,
+                "--seed-file", str(seed_file),
+                "--alphabet", "ab",
+                "--no-chargen",
+                "--samples", "0",
+            ]
+        )
+        assert code == 0
+        assert "oracle queries" in capsys.readouterr().out
+
+    def test_no_seeds_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["learn", "--command", "true"])

@@ -1,0 +1,122 @@
+"""Tests for the flex and bison subjects."""
+
+import pytest
+
+from repro.programs import bison_prog, flex_prog
+from repro.programs.bison_prog import _BisonParser
+from repro.programs.bison_prog import _analyze as bison_analyze
+from repro.programs.flex_prog import _FlexParser
+from repro.programs.flex_prog import _analyze as flex_analyze
+
+
+class TestFlexValid:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "%%\n",
+            "%%\na ECHO;\n",
+            "D [0-9]\n%%\n{D}+ return NUM;\n",
+            "%option caseless yylineno\n%%\nx |\ny ECHO;\n",
+            "%{\nint lines = 0;\n%}\n%%\n\\n { lines++; }\n",
+            "%%\n[a-z]+ {\n  multi();\n  line();\n}\n",
+            '%%\n"quoted string" ECHO;\n',
+            "%%\nab/cd ECHO;\n",
+            "%%\n^anchor$ ECHO;\n",
+            "%%\na{2,4} ECHO;\n",
+            "%s STATE1 STATE2\n%%\nx ECHO;\n",
+            "%%\nx ECHO;\n%%\nany user code )((\n",
+        ],
+    )
+    def test_valid(self, spec):
+        assert flex_prog.accepts(spec), spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "no separator at all\n",
+            "1BAD [0-9]\n%%\n",            # name starts with digit
+            "D\n%%\n",                      # definition without pattern
+            "%%\n{UNDEF}+ ECHO;\n",         # undefined name
+            "%%\n[a-z ECHO;\n",             # unterminated class
+            "%%\nx { unbalanced;\n",        # unterminated action
+            "%%\npattern_without_action",   # no action column
+            "%{\nnever closed\n%%\n",       # unterminated block
+            "%s\n%%\nx ECHO;\n",            # empty state list
+            "%%\na{2,1} ECHO;\n",           # bad repeat bounds
+        ],
+    )
+    def test_invalid(self, spec):
+        assert not flex_prog.accepts(spec), spec
+
+    def test_analysis_statistics(self):
+        parser = _FlexParser(
+            "D [0-9]\n%%\n{D}+ n();\n^x$ a();\nab/c t();\n{D}+ n();\n"
+        )
+        parser.parse()
+        stats = flex_analyze(parser)
+        assert stats["rules"] == 4
+        assert stats["anchored"] == 1
+        assert stats["trailing_context"] == 1
+        assert stats["duplicates"] == 1
+        assert stats["uses_definitions"] == 2
+
+
+class TestBisonValid:
+    @pytest.mark.parametrize(
+        "grammar",
+        [
+            "%%\ns : ;\n",
+            "%token A\n%%\ns : A ;\n",
+            "%%\ns : s 'x' | ;\n",
+            "%token A B\n%left '+'\n%right '*'\n%%\ne : e '+' e | A ;\n",
+            "%start top\n%%\ntop : 'a' ;\n",
+            "%union { int i; }\n%token <i> NUM\n%%\ns : NUM ;\n",
+            "%%\ns : 'a' { act(); } 'b' { more(); } ;\n",
+            "%%\ns : a %prec HIGH ;\na : 'x' ;\n",
+            "%{\n#include <stdio.h>\n%}\n%%\ns : ;\n",
+            "%%\ns : \"str\" ;\n",
+            "/* comment */\n%%\ns : ; // trailing\n",
+            "%%\ns : ;\n%%\nepilogue text\n",
+            "%expect 2\n%%\ns : ;\n",
+        ],
+    )
+    def test_valid(self, grammar):
+        assert bison_prog.accepts(grammar), grammar
+
+    @pytest.mark.parametrize(
+        "grammar",
+        [
+            "",                              # no separator
+            "%%\n",                          # no rules at all
+            "%%\ns 'x' ;\n",                 # missing colon
+            "%%\ns : 'x'\n",                 # missing semicolon
+            "%token\n%%\ns : ;\n",           # empty token list
+            "%start missing\n%%\ns : ;\n",   # %start names unknown rule
+            "%nonsense\n%%\ns : ;\n",        # unknown declaration
+            "%%\ns : { unclosed ;\n",        # unterminated action
+            "%union missing\n%%\ns : ;\n",   # %union without braces
+            "%%\n: 'x' ;\n",                 # rule without name
+            "%%\ns : 'unclosed ;\n",         # unterminated literal
+            "%expect many\n%%\ns : ;\n",     # non-numeric %expect
+        ],
+    )
+    def test_invalid(self, grammar):
+        assert not bison_prog.accepts(grammar), grammar
+
+    def test_analysis_statistics(self):
+        parser = _BisonParser(
+            "%token A\n%left '+'\n%%\n"
+            "s : e ;\ne : e '+' A | A ;\norphan : 'z' ;\n"
+        )
+        parser.parse()
+        stats = bison_analyze(parser)
+        assert stats["rules"] == 4
+        assert stats["nonterminals"] == 3
+        assert "orphan" in stats["unreachable"]
+        assert stats["precedence_levels"] == 1
+
+    def test_nullable_analysis(self):
+        parser = _BisonParser("%%\ns : a b ;\na : ;\nb : ;\n")
+        parser.parse()
+        stats = bison_analyze(parser)
+        assert set(stats["nullable"]) == {"a", "b", "s"}

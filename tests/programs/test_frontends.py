@@ -1,0 +1,194 @@
+"""Tests for the python, ruby, and javascript front-end subjects."""
+
+import pytest
+
+from repro.programs import js_prog, python_prog, ruby_prog
+
+
+class TestPythonFrontend:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "x = 1\n",
+            "if a:\n    b = 1\nelif c:\n    b = 2\nelse:\n    b = 3\n",
+            "def f(a, b=2, *args, **kw):\n    return a\n",
+            "class C(Base):\n    def m(self):\n        pass\n",
+            "xs = [i for i in range(3) if i]\n",
+            "d = {'k': v}\n",
+            "while x:\n    break\n",
+            "lambda_test = lambda x: x + 1\n",
+            "a = b[1:2]\n",
+            "s = 'a' \"b\"\n",
+            "x = (1 +\n     2)\n",
+            "import a.b.c\nfrom x.y import z\n",
+            "del x\nglobal g\nassert x == 1\n",
+            "# only a comment\n",
+            "",
+            "x = 1; y = 2\n",
+            "if x: y = 1\n",
+        ],
+    )
+    def test_valid(self, code):
+        assert python_prog.accepts(code), repr(code)
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "def f(:\n    pass\n",
+            "if x\n    pass\n",          # missing colon
+            "x = \n",
+            "return 1\n)",
+            "x = (1\n",                   # unclosed paren
+            "  x = 1\n",                  # unexpected indent
+            "def f():\npass\n",           # missing indent
+            "x = 'unterminated\n",
+            "1x = 2\n",                   # bad number
+            "def f(a, a=, b):\n    pass\n",
+            "class :\n    pass\n",
+            "x = ]\n",
+            "for in y:\n    pass\n",
+            "x == \n",
+        ],
+    )
+    def test_invalid(self, code):
+        assert not python_prog.accepts(code), repr(code)
+
+    def test_indentation_tracking(self):
+        nested = (
+            "if a:\n"
+            "    if b:\n"
+            "        x = 1\n"
+            "    y = 2\n"
+            "z = 3\n"
+        )
+        assert python_prog.accepts(nested)
+        bad_dedent = "if a:\n        x = 1\n    y = 2\n"
+        assert not python_prog.accepts(bad_dedent)
+
+    def test_profile_counts_constructs(self):
+        tokens = python_prog._Tokenizer(
+            "def f():\n    return [1, 2.5]\n"
+        ).tokenize()
+        stats = python_prog._profile(tokens)
+        assert stats["functions"] == 1
+        assert stats["returns"] == 1
+        assert stats["ints"] == 1
+        assert stats["floats"] == 1
+        assert stats["max_indent"] == 1
+
+
+class TestRubyFrontend:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "x = 1\n",
+            "def m(a, b = 1, *rest, &blk)\n  a\nend\n",
+            "def self.build\n  new\nend\n",
+            "class Foo < Bar\n  def m\n    1\n  end\nend\n",
+            "module M\n  def h\n    2\n  end\nend\n",
+            "xs.each do |x, y|\n  puts x\nend\n",
+            "xs.map { |x| x * 2 }\n",
+            "if a then b end\n",
+            "puts 'x' if ready\n",
+            "case x\nwhen 1, 2 then a\nelse b\nend\n",
+            "begin\n  w\nrescue E => e\n  f\nensure\n  g\nend\n",
+            "h = {:a => 1, k: 2}\n",
+            "s = \"one #{two} three\"\n",
+            "x ||= 1\ny &&= 2\n",
+            "A::B::C\n",
+            "r = 1..9\n",
+            "yield(1)\n",
+        ],
+    )
+    def test_valid(self, code):
+        assert ruby_prog.accepts(code), repr(code)
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "def m\n  x\n",                # missing end
+            "end\n",
+            "class lower\nend\n",          # class name not constant
+            "if\nend\n",
+            "case x\nend\n",               # case without when
+            "xs.each do |x\nend\n",        # unterminated block params
+            "s = \"unterminated\n",
+            "s = \"bad #{interp\"\n",
+            "def m(a,)\n  a\nend\n",       # trailing comma
+            "x = {1 =>}\n",
+            "@ = 1\n",
+        ],
+    )
+    def test_invalid(self, code):
+        assert not ruby_prog.accepts(code), repr(code)
+
+    def test_profile_counts_constructs(self):
+        tokens = ruby_prog._Tokenizer(
+            "def m\n  @x = :sym\n  yield\nend\n"
+        ).tokenize()
+        stats = ruby_prog._profile(tokens)
+        assert stats["methods"] == 1
+        assert stats["symbols"] == 1
+        assert stats["instance_vars"] == 1
+        assert stats["yields"] == 1
+
+
+class TestJavascriptFrontend:
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "var x = 1;",
+            "let a = [1, 2]; const b = { k: 'v' };",
+            "function f(a, b) { return a + b; }",
+            "var g = function () { return 0; };",
+            "if (a) { b(); } else if (c) { d(); }",
+            "for (var i = 0; i < 9; i++) { s += i; }",
+            "for (var k in obj) { f(k); }",
+            "for (var v of xs) { g(v); }",
+            "do { x--; } while (x);",
+            "try { a(); } catch (e) { b(); } finally { c(); }",
+            "switch (x) { case 1: a(); break; default: b(); }",
+            "throw new Error('x');",
+            "x = a ? b : c;",
+            "y = a === b && c !== d;",
+            "z = ~a | b & c ^ d << 2 >>> 1;",
+            "obj.method(1)['key'].deep;",
+            "x = typeof a; delete obj.k; void 0;",
+            "/* comment */ x = 1; // end",
+            "",
+            ";",
+        ],
+    )
+    def test_valid(self, code):
+        assert js_prog.accepts(code), repr(code)
+
+    @pytest.mark.parametrize(
+        "code",
+        [
+            "var x = 1",                 # missing semicolon (no ASI)
+            "x = ;",
+            "function () { return; }",   # declaration needs a name
+            "if a { b(); }",             # missing parens
+            "for (;;) { break }",        # missing ; after break
+            "try { a(); }",              # try without catch/finally
+            "switch (x) { default: a(); default: b(); }",
+            "x = 'unterminated;",
+            "var 1x = 2;",
+            "obj = { k 1 };",
+            "x = (1;",
+            "while (true) { /* unclosed",
+        ],
+    )
+    def test_invalid(self, code):
+        assert not js_prog.accepts(code), repr(code)
+
+    def test_profile_counts_constructs(self):
+        tokens = js_prog._Tokenizer(
+            "function f() { return x === 1 ? 2.5 : 3; }"
+        ).tokenize()
+        stats = js_prog._profile(tokens)
+        assert stats["functions"] == 1
+        assert stats["equality_tests"] == 1
+        assert stats["ternaries"] == 1
+        assert stats["floats"] == 1
+        assert stats["max_brace_depth"] == 1

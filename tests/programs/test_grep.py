@@ -1,0 +1,82 @@
+"""Tests for the grep subject: BRE compilation and matching."""
+
+import pytest
+
+from repro.programs.grep_prog import _Compiler, _search, accepts
+
+
+class TestCompilation:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "", "abc", "a*", "a**", ".", ".*", "^abc$", "a$b",
+            "[abc]", "[^abc]", "[a-z0-9]", "[]a]", "[[:digit:]]",
+            "\\(a\\)", "\\(a\\|b\\)", "\\(\\(x\\)\\)", "\\(a\\)\\1",
+            "a\\{2\\}", "a\\{2,\\}", "a\\{2,5\\}", "\\.", "\\*", "\\\\",
+            "\\<word\\>", "\\bw\\B", "*leading", "a\\|", "\\|a",
+        ],
+    )
+    def test_valid_patterns(self, pattern):
+        assert accepts(pattern), pattern
+
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "\\(a", "a\\)", "[", "[]", "[[:nope:]]", "[[:digit:]",
+            "a\\{2", "a\\{5,2\\}", "a\\{999\\}", "\\1", "\\(a\\)\\2",
+            "\\q", "a\\", "[z-a]", "has\nnewline",
+        ],
+    )
+    def test_invalid_patterns(self, pattern):
+        assert not accepts(pattern), pattern
+
+
+class TestMatching:
+    def match(self, pattern, text):
+        return _search(_Compiler(pattern).compile(), text)
+
+    def test_substring_semantics(self):
+        assert self.match("world", "hello world")
+        assert not self.match("planet", "hello world")
+
+    def test_star(self):
+        assert self.match("ab*c", "ac")
+        assert self.match("ab*c", "abbbc")
+
+    def test_interval(self):
+        assert self.match("ab\\{2,3\\}c", "xabbcx")
+        assert self.match("ab\\{2,3\\}c", "abbbc")
+        assert not self.match("ab\\{2,3\\}c", "abc")
+        assert not self.match("^ab\\{2,3\\}c$", "abbbbc")
+
+    def test_alternation(self):
+        assert self.match("\\(cat\\|dog\\)", "hotdog stand")
+        assert not self.match("^\\(cat\\|dog\\)$", "cow")
+
+    def test_group_backtracking(self):
+        # Needs the second alternative of the group.
+        assert self.match("\\(a\\|ab\\)c", "zabc")
+
+    def test_backreference(self):
+        assert self.match("\\(ab\\)\\1", "xxababxx")
+        assert not self.match("^\\(ab\\)\\1$", "abba")
+
+    def test_anchors(self):
+        assert self.match("^hello", "hello world")
+        assert not self.match("^world", "hello world")
+        assert self.match("world$", "hello world")
+
+    def test_bracket_negation(self):
+        assert self.match("[^0-9]", "abc")
+        assert not self.match("^[^a-z]*$", "abc")
+
+    def test_posix_class(self):
+        assert self.match("[[:digit:]][[:alpha:]]", "4x")
+
+    def test_word_boundaries(self):
+        assert self.match("\\<hello", "say hello")
+        assert self.match("\\bworld\\b", "the world is")
+
+    def test_step_budget_terminates(self):
+        # Nested stars with backtracking pressure must not hang.
+        assert accepts("\\(a*\\)*b")

@@ -1,0 +1,135 @@
+"""Tests for the sed subject: script parsing and the execution engine."""
+
+import pytest
+
+from repro.programs import sed_prog
+from repro.programs.sed_prog import _Engine, _Parser, _bre_search, accepts
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "",
+            "p",
+            "s/a/b/",
+            "s/a/b/g",
+            "s|a|b|gp",
+            "s/a/b/2",
+            "1d",
+            "$p",
+            "2,5d",
+            "/pat/d",
+            "/pat/,/end/p",
+            "3!p",
+            "0~2d",
+            "{p;d}",
+            "1,3{s/x/y/;p}",
+            "y/ab/cd/",
+            "a hello",
+            "a\\\nhello",
+            "i text",
+            ":top\nb top",
+            "t done\n:done",
+            "s/[abc]/x/",
+            "s/a\\/b/c/",
+            "=\nl\nn\nN\nG\nh\nH\nx\ng\nq",
+        ],
+    )
+    def test_valid_scripts(self, script):
+        assert accepts(script), script
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "s/a/b",          # unterminated replacement
+            "s/a",            # unterminated regex
+            "y/ab/c/",        # unequal lengths
+            "z",              # unknown command
+            "{p",             # unterminated block
+            "}",              # unmatched brace
+            "1,",             # missing second address
+            "2p extra",       # trailing junk
+            ":",              # label required
+            "s/a/b/gg",       # duplicate flag
+            "s//a/\\",        # dangling content
+            "!p!",            # double negation junk
+        ],
+    )
+    def test_invalid_scripts(self, script):
+        assert not accepts(script), script
+
+    def test_address_structures(self):
+        commands = _Parser("2,/x/!p").parse_script()
+        command = commands[0]
+        assert command["neg"]
+        assert command["addr"][0] == ("line", 2)
+        assert command["addr"][1] == ("regex", "x")
+
+
+class TestBREMatcher:
+    def test_literal(self):
+        assert _bre_search("world", "hello world") == (6, 11)
+
+    def test_star_and_dot(self):
+        assert _bre_search("l*o", "hello") is not None
+        assert _bre_search("h.llo", "hello") == (0, 5)
+
+    def test_bracket(self):
+        assert _bre_search("[aeiou]", "xyz") is None
+        assert _bre_search("[a-f]", "zzd") == (2, 3)
+        assert _bre_search("[^a-f]", "ad z")[0] == 2
+
+    def test_anchors(self):
+        assert _bre_search("^he", "hello") == (0, 2)
+        assert _bre_search("^el", "hello") is None
+        assert _bre_search("lo$", "hello") == (3, 5)
+
+    def test_escape(self):
+        assert _bre_search("a\\.b", "a.b") == (0, 3)
+        assert _bre_search("a\\.b", "axb") is None
+
+
+class TestEngine:
+    def run(self, script):
+        return _Engine(_Parser(script).parse_script()).run()
+
+    def test_delete_all(self):
+        assert self.run("d") == ""
+
+    def test_substitute_global(self):
+        out = self.run("s/o/0/g")
+        assert "0" in out and "o" not in out
+
+    def test_line_address(self):
+        out = self.run("2d").splitlines()
+        assert len(out) == len(sed_prog._SAMPLE_LINES) - 1
+
+    def test_negated_address(self):
+        out = self.run("$!d")
+        assert out == sed_prog._SAMPLE_LINES[-1]
+
+    def test_print_duplicates(self):
+        out = self.run("1p").splitlines()
+        assert out[0] == out[1] == sed_prog._SAMPLE_LINES[0]
+
+    def test_quit(self):
+        out = self.run("1q").splitlines()
+        assert out == [sed_prog._SAMPLE_LINES[0]]
+
+    def test_transliterate(self):
+        out = self.run("y/lo/LO/")
+        assert "heLLO" in out
+
+    def test_hold_space_roundtrip(self):
+        out = self.run("1h;2G")
+        lines = out.splitlines()
+        assert lines[2] == sed_prog._SAMPLE_LINES[0]
+
+    def test_branch_loop_is_budgeted(self):
+        # An infinite loop via b must terminate through the cycle budget.
+        assert accepts(":x\nb x")
+
+    def test_append_text(self):
+        out = self.run("1a EXTRA")
+        assert "EXTRA" in out

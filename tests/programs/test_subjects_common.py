@@ -1,0 +1,65 @@
+"""Cross-cutting tests every §8.3 subject must satisfy."""
+
+import random
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.programs import SUBJECT_NAMES, all_subjects, get_subject
+
+
+@pytest.fixture(scope="module", params=SUBJECT_NAMES)
+def subject(request):
+    return get_subject(request.param)
+
+
+class TestRegistry:
+    def test_eight_subjects(self):
+        assert len(all_subjects()) == 8
+
+    def test_unknown_subject_raises(self):
+        with pytest.raises(ValueError):
+            get_subject("perl")
+
+
+class TestContract:
+    def test_all_seeds_accepted(self, subject):
+        for seed in subject.seeds:
+            assert subject.accepts(seed), (subject.name, seed)
+
+    def test_loc_and_seed_lines_positive(self, subject):
+        assert subject.loc() > 100
+        assert subject.seed_line_count() >= len(subject.seeds)
+
+    def test_rejects_garbage_without_crashing(self, subject):
+        rng = random.Random(99)
+        rejected = 0
+        for _ in range(200):
+            length = rng.randint(0, 40)
+            text = "".join(
+                rng.choice(subject.alphabet) for _ in range(length)
+            )
+            if not subject.accepts(text):
+                rejected += 1
+        assert rejected > 0  # random junk is mostly invalid
+
+    def test_handles_off_alphabet_bytes(self, subject):
+        for probe in ["\x00", "é", "\x7f", "\t\t", "🦊"]:
+            subject.accepts(probe)  # must not raise
+
+    def test_seed_alphabet_subset(self, subject):
+        for seed in subject.seeds:
+            assert set(seed) <= set(subject.alphabet), subject.name
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_no_subject_ever_raises(data):
+    """Total robustness: accepts() is a predicate, never an exception."""
+    subjects = all_subjects()
+    name = data.draw(st.sampled_from(sorted(subjects)))
+    subject = subjects[name]
+    text = data.draw(st.text(max_size=60))
+    verdict = subject.accepts(text)
+    assert isinstance(verdict, bool)

@@ -1,0 +1,97 @@
+"""Tests for the XML subject: well-formedness, DOM, serialization."""
+
+import pytest
+
+from repro.programs.xml_prog import (
+    _XMLParser,
+    _analyze,
+    _serialize,
+    accepts,
+)
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "<r/>",
+            "<r></r>",
+            "<r>text</r>",
+            "<root><child/><child/></root>",
+            '<r a="1" b="2"/>',
+            "<r a='single'/>",
+            "<r>&amp;&lt;&gt;&apos;&quot;</r>",
+            "<r>&#65;&#x41;</r>",
+            "<r><!-- comment --></r>",
+            "<r><![CDATA[ raw <junk> here ]]></r>",
+            "<r><?pi data?></r>",
+            '<?xml version="1.0"?><r/>',
+            "<r>\n  <nested>\n    deep\n  </nested>\n</r>",
+            "<a.b-c:d/>",
+        ],
+    )
+    def test_valid(self, doc):
+        assert accepts(doc), doc
+
+    @pytest.mark.parametrize(
+        "doc",
+        [
+            "",
+            "plain text",
+            "<r>",
+            "<r></x>",
+            "<r><a></r></a>",          # improper nesting
+            '<r a="1" a="2"/>',        # §8.3: duplicate attribute
+            "<r a=1/>",                # unquoted value
+            "<r>&unknown;</r>",
+            "<r>&#;</r>",
+            "<r><!-- -- --></r>",      # double hyphen in comment
+            "<r>un<escaped</r>",
+            "<r/>trailing",
+            "<r><![CDATA[never closed</r>",
+            "<1bad/>",
+        ],
+    )
+    def test_invalid(self, doc):
+        assert not accepts(doc), doc
+
+
+class TestDOM:
+    def parse(self, doc):
+        return _XMLParser(doc).parse_document()
+
+    def test_structure(self):
+        dom = self.parse('<r a="v"><c>hi</c></r>')
+        kind, name, attributes, children = dom
+        assert (kind, name) == ("elem", "r")
+        assert attributes == [("a", "v")]
+        assert children[0][1] == "c"
+
+    def test_entity_decoding(self):
+        dom = self.parse("<r>&amp;&#65;</r>")
+        assert dom[3] == [("text", "&A")]
+
+    def test_analysis(self):
+        dom = self.parse(
+            '<r a="1"><b c="2"><!--x--></b><![CDATA[y]]><?p z?></r>'
+        )
+        stats = _analyze(dom)
+        assert stats["elements"] == 2
+        assert stats["attributes"] == 2
+        assert stats["comments"] == 1
+        assert stats["cdata"] == 1
+        assert stats["pis"] == 1
+        assert stats["max_depth"] == 2
+
+    def test_serialization_roundtrip(self):
+        doc = '<r a="v"><c>hi</c><!--note--><d/></r>'
+        dom = self.parse(doc)
+        rendered = _serialize(dom)
+        # Serialization output is itself well-formed and parses to the
+        # same structure.
+        assert accepts(rendered)
+        assert self.parse(rendered) == dom
+
+    def test_serialization_escapes_text(self):
+        dom = self.parse("<r>&amp;</r>")
+        assert "&amp;" in _serialize(dom)

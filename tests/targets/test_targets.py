@@ -1,0 +1,101 @@
+"""Tests for the four §8.2 target languages.
+
+The key invariant: the sampling grammar and the recognizer describe the
+same language (grammar samples must be accepted; negatives rejected).
+"""
+
+import random
+
+import pytest
+
+from repro.targets import TARGET_NAMES, all_targets, get_target
+
+
+@pytest.fixture(scope="module", params=TARGET_NAMES)
+def target(request):
+    return get_target(request.param)
+
+
+class TestRegistry:
+    def test_four_targets(self):
+        assert set(all_targets()) == {"url", "grep", "lisp", "xml"}
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(ValueError):
+            get_target("nope")
+
+
+class TestGrammarOracleAgreement:
+    def test_samples_accepted_by_oracle(self, target):
+        sampler = target.sampler(random.Random(1))
+        for _ in range(200):
+            text = sampler.sample()
+            assert target.oracle(text), (target.name, text)
+
+    def test_seed_sampling_validates(self, target):
+        seeds = target.sample_seeds(20, seed=3)
+        assert len(seeds) == 20
+        assert all(target.oracle(s) for s in seeds)
+
+    def test_negative_samples_rejected(self, target):
+        negatives = target.negative_samples(20, seed=5)
+        assert len(negatives) == 20
+        assert not any(target.oracle(n) for n in negatives)
+
+    def test_alphabet_covers_grammar(self, target):
+        assert target.grammar.alphabet() <= set(target.alphabet)
+
+
+class TestURL:
+    def test_examples(self):
+        oracle = get_target("url").oracle
+        assert oracle("http://ab.cd")
+        assert oracle("https://www.example.com/path/to")
+        assert oracle("http://my-host.org/x?q=1&r=2")
+        assert oracle("https://a:b.io")  # host class admits ':'
+        assert not oracle("ftp://ab.cd")
+        assert not oracle("http://nodots")
+        assert not oracle("http://a.bc")   # host needs >= 2 chars
+        assert not oracle("http://ab.c")   # TLD needs 2-6 chars
+
+
+class TestGrep:
+    def test_examples(self):
+        oracle = get_target("grep").oracle
+        assert oracle("abc")
+        assert oracle("a*b")
+        assert oracle("\\(a\\|b\\)*c")
+        assert oracle("[abc]x[^y]")
+        # Unlike GNU grep, the §8.2 target requires non-empty branches
+        # (the recognizer and the sampling grammar agree on this).
+        assert not oracle("")
+        assert not oracle("\\(a")
+        assert not oracle("a\\)")
+        assert not oracle("[")
+        assert not oracle("[]")
+
+
+class TestLisp:
+    def test_examples(self):
+        oracle = get_target("lisp").oracle
+        assert oracle("(add 1 2)")
+        assert oracle("(f (g x) 'y)")
+        assert oracle('(say "hi there")')
+        assert oracle("(f ;note\n x)")
+        assert not oracle("()")
+        assert not oracle("(f")
+        assert not oracle("atom")
+        assert not oracle("(f )")
+
+
+class TestXML:
+    def test_examples(self):
+        oracle = get_target("xml").oracle
+        assert oracle("<a></a>")
+        assert oracle('<a x="1"><b/></a>')
+        assert oracle("<a><!--note-->text</a>")
+        assert oracle("<b><![CDATA[<raw>]]></b>")
+        assert oracle("<a><?go now?></a>")
+        assert not oracle("<a></b>")
+        assert not oracle("<a>")
+        assert not oracle("<c></c>")  # only tags a and b exist
