@@ -1,0 +1,73 @@
+"""Microbenchmark: incremental membership engine vs from-scratch NFAs.
+
+ISSUE 1 acceptance criterion: on the XML target, phase one with the
+fragment-cached engine must construct at least 5x fewer NFA states than
+recompiling the current language from scratch after every
+generalization step, with the learned regex unchanged. The benchmarked
+quantity is phase-1 wall-clock for each mode; the states-constructed
+table is printed alongside.
+"""
+
+import time
+
+from repro.core.phase1 import synthesize_regex
+from repro.languages import nfa_match
+from repro.languages.engine import MembershipSession
+from repro.targets.xmllang import xml_oracle
+
+#: Same realistic §8.2 XML seed as tests/core/test_engine_integration.py.
+XML_SEED = '<a href="x1">text<b>bold</b><!--note--><![CDATA[raw<>]]></a>'
+
+
+def run_engine_comparison():
+    rows = []
+    for label, use_engine in (("engine", True), ("scratch", False)):
+        session = MembershipSession(use_engine=use_engine)
+        nfa_match.STATS.reset()
+        started = time.perf_counter()
+        result = synthesize_regex(XML_SEED, xml_oracle, session=session)
+        elapsed = time.perf_counter() - started
+        states = (
+            session.engine.states_built
+            if use_engine
+            else nfa_match.STATS.states_built
+        )
+        rows.append(
+            {
+                "mode": label,
+                "states_built": states,
+                "seconds": elapsed,
+                "regex": str(result.regex()),
+            }
+        )
+    return rows
+
+
+def format_comparison(rows):
+    lines = ["{:<8} {:>14} {:>10}".format("mode", "states built", "seconds")]
+    for row in rows:
+        lines.append(
+            "{:<8} {:>14} {:>10.3f}".format(
+                row["mode"], row["states_built"], row["seconds"]
+            )
+        )
+    engine, scratch = rows[0], rows[1]
+    lines.append(
+        "construction ratio: {:.1f}x fewer states with the engine".format(
+            scratch["states_built"] / engine["states_built"]
+        )
+    )
+    return "\n".join(lines)
+
+
+def test_engine_states_built(once):
+    rows = once(run_engine_comparison)
+    print()
+    print(format_comparison(rows))
+    engine, scratch = rows[0], rows[1]
+    assert engine["regex"] == scratch["regex"]
+    assert engine["states_built"] * 5 <= scratch["states_built"]
+
+
+if __name__ == "__main__":
+    print(format_comparison(run_engine_comparison()))

@@ -33,6 +33,7 @@ from repro.languages.cfg import (
     Production,
 )
 from repro.languages.earley import parse, recognize
+from repro.languages.engine import Engine, MembershipSession
 from repro.languages.sampler import GrammarSampler, sample_regex
 from repro.learning.oracle import (
     BudgetOracle,
@@ -40,9 +41,13 @@ from repro.learning.oracle import (
     CountingOracle,
     Oracle,
     OracleBudgetExceeded,
+    SubprocessOracle,
     grammar_oracle,
     program_oracle,
+    query_all,
+    query_many,
     regex_oracle,
+    supports_concurrency,
 )
 
 __version__ = "1.0.0"
@@ -53,21 +58,27 @@ __all__ = [
     "CharSet",
     "CountingOracle",
     "DEFAULT_ALPHABET",
+    "Engine",
     "GladeConfig",
     "GladeResult",
     "Grammar",
     "GrammarSampler",
+    "MembershipSession",
     "Nonterminal",
     "Oracle",
     "OracleBudgetExceeded",
     "ParseTree",
     "Production",
+    "SubprocessOracle",
     "grammar_oracle",
     "learn_grammar",
     "parse",
     "program_oracle",
+    "query_all",
+    "query_many",
     "recognize",
     "regex_oracle",
     "sample_regex",
+    "supports_concurrency",
     "__version__",
 ]

@@ -78,13 +78,23 @@ def main(argv=None) -> int:
         "--timeout", type=float, default=5.0,
         help="per-query subprocess timeout in seconds",
     )
+    learn.add_argument(
+        "--workers", type=int, default=1,
+        help="max concurrent oracle subprocesses for batched checks; "
+        "the default 1 keeps the paper's short-circuit query counts, "
+        "higher values trade extra queries for wall-clock",
+    )
     args = parser.parse_args(argv)
 
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     seeds = _load_seeds(args)
     if not seeds:
         parser.error("no seeds given (use --seed/--seed-file/--seed-dir)")
     oracle = SubprocessOracle(
-        shlex.split(args.command), timeout_seconds=args.timeout
+        shlex.split(args.command),
+        timeout_seconds=args.timeout,
+        max_workers=args.workers,
     )
     config = GladeConfig(
         alphabet=args.alphabet,

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.core.gtree import GNode, constants_of
-from repro.learning.oracle import Oracle
+from repro.learning.oracle import Oracle, query_many
 
 
 def generalize_characters(
@@ -27,7 +27,9 @@ def generalize_characters(
     """Widen constants in the tree in place; return #generalizations made.
 
     ``alphabet`` is the program's input alphabet Σ (§2); each constant
-    position is offered every other σ ∈ Σ once.
+    position is offered every other σ ∈ Σ once. All probes of one
+    position are independent (they substitute into the same base text),
+    so they are dispatched to the oracle as one batch.
     """
     alphabet = sorted(set(alphabet))
     accepted = 0
@@ -36,11 +38,13 @@ def generalize_characters(
         for position, original in enumerate(text):
             prefix = text[:position]
             suffix = text[position + 1 :]
-            for sigma in alphabet:
-                if sigma == original:
-                    continue
-                check = const.context.wrap(prefix + sigma + suffix)
-                if oracle(check):
+            candidates = [s for s in alphabet if s != original]
+            checks = [
+                const.context.wrap(prefix + sigma + suffix)
+                for sigma in candidates
+            ]
+            for sigma, ok in zip(candidates, query_many(oracle, checks)):
+                if ok:
                     const.classes[position].add(sigma)
                     accepted += 1
     return accepted

@@ -30,7 +30,7 @@ from repro.core.phase2 import Phase2Result, merge_repetitions
 from repro.core.translate import translate_trees
 from repro.languages import regex as rx
 from repro.languages.cfg import Grammar
-from repro.languages.nfa_match import compile_regex
+from repro.languages.engine import MembershipSession
 from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
 
 #: Default input alphabet Σ for character generalization: printable
@@ -47,6 +47,23 @@ class GladeConfig:
     ``enable_phase2=False`` gives the "P1" ablation of Figure 4 (GLADE
     restricted to regular languages); ``enable_chargen=False`` gives the
     character-generalization ablation discussed in §8.2.
+
+    ``use_engine`` selects the incremental membership engine
+    (:mod:`repro.languages.engine`): phase one's current-language tests
+    and the §6.1 covered-seed tests then reuse cached NFA fragments of
+    unchanged subtrees and memoize match results per (language version,
+    string). ``use_engine=False`` recompiles every language version
+    from scratch — learned grammars are identical either way (verified
+    by ``tests/languages/test_engine.py``); the flag exists for the
+    equivalence tests and the ``bench_engine`` microbenchmark.
+
+    Independent oracle checks (a candidate's residuals, one position's
+    character probes, a merge pair's checks) are always dispatched as
+    one batch; oracles that support concurrency (e.g.
+    :class:`~repro.learning.oracle.SubprocessOracle`, whose
+    ``max_workers`` knob sizes its thread pool) answer them in
+    parallel, while in-process oracles answer them sequentially with
+    unchanged semantics.
     """
 
     enable_phase2: bool = True
@@ -57,6 +74,8 @@ class GladeConfig:
     #: Extended merge checks (see repro.core.phase2); False gives the
     #: paper's literal two checks — exposed for the ablation bench.
     mixed_merge_checks: bool = True
+    #: Incremental membership engine (fragment cache + match memo).
+    use_engine: bool = True
 
 
 @dataclass
@@ -96,37 +115,42 @@ def learn_grammar(
     if not seeds:
         raise ValueError("learn_grammar requires at least one seed input")
     config = config if config is not None else GladeConfig()
-    counting = CountingOracle(oracle)
-    cached = CachingOracle(counting)
+    # The counter wraps the cache so ``oracle_queries`` counts *every*
+    # membership query the algorithm issues — cache hits included — as
+    # the paper's cost metric requires; ``unique_queries`` (from the
+    # cache) is the distinct-string count.
+    cached = CachingOracle(oracle)
+    counting = CountingOracle(cached)
+    session = MembershipSession(use_engine=config.use_engine)
     started = time.perf_counter()
 
     trees: List[GRoot] = []
     phase1_results: List[Phase1Result] = []
     regexes: List[rx.Regex] = []
-    matchers = []  # compiled NFAs of the regexes learned so far
     seeds_used: List[str] = []
     seeds_skipped: List[str] = []
 
     for seed in seeds:
-        if not cached(seed):
+        if not counting(seed):
             raise ValueError(
                 "seed input rejected by the oracle: {!r}".format(seed)
             )
-        if config.skip_covered_seeds and any(
-            matcher(seed) for matcher in matchers
-        ):
+        if config.skip_covered_seeds and session.covers(seed):
             seeds_skipped.append(seed)
             continue
         result = synthesize_regex(
-            seed, cached, record_trace=config.record_trace
+            seed,
+            counting,
+            record_trace=config.record_trace,
+            session=session,
         )
         if config.enable_chargen:
-            generalize_characters(result.root, cached, config.alphabet)
+            generalize_characters(result.root, counting, config.alphabet)
         trees.append(result.root)
         phase1_results.append(result)
         learned = result.root.to_regex()
         regexes.append(learned)
-        matchers.append(compile_regex(learned).matches)
+        session.remember(learned)
         seeds_used.append(seed)
 
     grammar = translate_trees(trees)
@@ -136,7 +160,7 @@ def learn_grammar(
         phase2_result = merge_repetitions(
             grammar,
             stars,
-            cached,
+            counting,
             record_trace=config.record_trace,
             mixed_checks=config.mixed_merge_checks,
         )

@@ -20,6 +20,15 @@ Each check is the residual wrapped in the bracketed substring's context
 Holes are processed LIFO with a step's new holes pushed left-to-right,
 which reproduces the R1…R9 ordering of Figure 2 exactly (verified by
 ``tests/core/test_figure2.py``).
+
+Membership in the current language L̂ᵢ is decided through a
+:class:`~repro.languages.engine.MembershipSession`: the incremental
+engine reuses the NFA fragments of every subtree a generalization step
+left unchanged, instead of recompiling the full regex from scratch after
+each splice. The checks that survive the discard rule are independent,
+so a concurrent oracle stack (e.g. subprocess workers) receives them as
+one batch (:func:`~repro.learning.oracle.query_all`); sequential oracles
+keep the short-circuit and its query count.
 """
 
 from __future__ import annotations
@@ -39,8 +48,8 @@ from repro.core.gtree import (
     HoleKind,
     Slot,
 )
-from repro.languages.nfa_match import compile_regex
-from repro.learning.oracle import Oracle
+from repro.languages.engine import MembershipSession
+from repro.learning.oracle import Oracle, query_all, supports_concurrency
 
 
 @dataclass
@@ -70,8 +79,16 @@ def synthesize_regex(
     seed: str,
     oracle: Oracle,
     record_trace: bool = False,
+    session: Optional[MembershipSession] = None,
 ) -> Phase1Result:
-    """Run phase one on one seed input, returning the generalization tree."""
+    """Run phase one on one seed input, returning the generalization tree.
+
+    ``session`` carries the incremental membership engine; callers that
+    learn several seeds (or run character generalization afterwards)
+    pass one session so NFA fragments are shared across the whole run.
+    """
+    if session is None:
+        session = MembershipSession()
     root = GRoot()
     root.children = [GHole(HoleKind.REP, seed, Context("", ""))]
     result = Phase1Result(root=root)
@@ -81,7 +98,10 @@ def synthesize_regex(
         hole = slot.get()
         if not isinstance(hole, GHole):
             raise AssertionError("phase-1 stack slot does not hold a hole")
-        in_current = _current_language_matcher(root)
+        # Membership test for the current language L̂ᵢ (holes read as
+        # literals), used by the §4.3 discard rule below. The session
+        # reuses fragments of unchanged subtrees and memoizes results.
+        in_current = session.matcher(root.to_regex())
         if hole.kind is HoleKind.REP:
             record = _generalize_rep(hole, slot, stack, oracle, in_current)
         else:
@@ -91,18 +111,18 @@ def synthesize_regex(
     return result
 
 
-def _current_language_matcher(root: GRoot):
-    """Membership test for the current language L̂ᵢ (holes read as literals).
-
-    Used to discard checks α ∈ L̂ᵢ so every check exercises the newly
-    added strings L̃ \\ L̂ᵢ (§4.3).
-    """
-    nfa = compile_regex(root.to_regex())
-    return nfa.matches
-
-
 def _passes(checks: List[str], oracle: Oracle, in_current) -> bool:
-    """CheckCandidate of Algorithm 1, with the §4.3 discard rule."""
+    """CheckCandidate of Algorithm 1, with the §4.3 discard rule.
+
+    Checks α ∈ L̂ᵢ are discarded so every check exercises the newly
+    added strings L̃ \\ L̂ᵢ. On a concurrent oracle stack the surviving
+    checks are independent and go out as one batch; a sequential stack
+    keeps the fully interleaved short-circuit (no membership test is
+    run for checks after the first oracle rejection).
+    """
+    if supports_concurrency(oracle):
+        pending = [check for check in checks if not in_current(check)]
+        return query_all(oracle, pending)
     for check in checks:
         if in_current(check):
             continue

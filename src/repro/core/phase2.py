@@ -40,7 +40,7 @@ from repro.core.translate import star_nonterminal
 from repro.languages import regex as rx
 from repro.languages.cfg import Grammar, Nonterminal
 from repro.languages.sampler import sample_regex
-from repro.learning.oracle import Oracle
+from repro.learning.oracle import Oracle, query_all
 
 
 @dataclass
@@ -200,7 +200,10 @@ def merge_repetitions(
                 mixed=mixed_checks,
                 n_samples=2 if mixed_checks else 0,
             )
-            merged = all(oracle(check) for check in checks)
+            # The pair's checks are independent: a concurrent oracle
+            # stack answers them as one batch, a sequential one keeps
+            # the short-circuit (stop at the first rejection).
+            merged = query_all(oracle, checks)
             if merged:
                 uf.union(i, j)
             if record_trace:

@@ -16,6 +16,12 @@ from repro.languages.cfg import (
     grammar_union,
 )
 from repro.languages.earley import parse, recognize
+from repro.languages.engine import (
+    ComposedNFA,
+    Engine,
+    Fragment,
+    MembershipSession,
+)
 from repro.languages.nfa_match import NFA, compile_regex, regex_matches
 from repro.languages.regex import (
     EMPTY,
@@ -40,14 +46,18 @@ __all__ = [
     "Alt",
     "CharClass",
     "CharSet",
+    "ComposedNFA",
     "Concat",
     "EMPTY",
     "EPSILON",
     "EmptySet",
+    "Engine",
     "Epsilon",
+    "Fragment",
     "Grammar",
     "GrammarSampler",
     "Lit",
+    "MembershipSession",
     "NFA",
     "Nonterminal",
     "ParseTree",

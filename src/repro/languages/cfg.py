@@ -32,13 +32,21 @@ class Nonterminal:
 
 @dataclass(frozen=True)
 class CharSet:
-    """A terminal symbol matching any one character from ``chars``."""
+    """A terminal symbol matching any one character from ``chars``.
+
+    ``sorted_chars`` is precomputed (it is not a comparison field) so
+    the sampler's per-draw character choice need not re-sort the set.
+    """
 
     chars: FrozenSet[str]
+    sorted_chars: Tuple[str, ...] = field(
+        init=False, compare=False, repr=False, default=()
+    )
 
     def __post_init__(self):
         if not self.chars:
             raise ValueError("CharSet requires at least one character")
+        object.__setattr__(self, "sorted_chars", tuple(sorted(self.chars)))
 
     def __str__(self) -> str:
         from repro.languages.regex import format_char_class

@@ -15,6 +15,27 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.languages import regex as rx
 
 
+class CompileStats:
+    """Counters for from-scratch Thompson construction.
+
+    ``benchmarks/bench_engine.py`` and the engine-equivalence tests use
+    the module-level :data:`STATS` instance to measure how many NFA
+    states non-incremental compilation allocates over a phase-1 run.
+    """
+
+    __slots__ = ("states_built", "compiles")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.states_built = 0
+        self.compiles = 0
+
+
+STATS = CompileStats()
+
+
 class NFA:
     """A nondeterministic finite automaton with ε-moves.
 
@@ -133,6 +154,8 @@ def compile_regex(expr: rx.Regex) -> NFA:
     start, accept = build(expr)
     nfa.start = start
     nfa.accept = accept
+    STATS.states_built += nfa.n_states
+    STATS.compiles += 1
     return nfa
 
 

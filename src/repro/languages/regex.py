@@ -20,10 +20,13 @@ class Regex:
     """Base class for regular-expression AST nodes.
 
     Nodes are immutable; structural equality and hashing are defined so
-    expressions can be deduplicated and used as dictionary keys.
+    expressions can be deduplicated and used as dictionary keys. Hashes
+    are cached per node: the membership engine's fragment cache keys on
+    subtrees, so repeated structural hashing must be O(1) amortized.
     """
 
     _nfa = None  # lazily-built Thompson NFA, shared per node
+    _hash = None  # cached structural hash, shared per node
 
     def matches(self, text: str) -> bool:
         """Return True if ``text`` is in the language of this expression."""
@@ -65,7 +68,11 @@ class Regex:
         return type(self) is type(other) and self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))
+        cached = self._hash
+        if cached is None:
+            cached = hash((type(self).__name__, self._key()))
+            self._hash = cached
+        return cached
 
     def __repr__(self) -> str:
         return "{}({})".format(type(self).__name__, str(self))
@@ -100,13 +107,14 @@ class EmptySet(Regex):
 class Lit(Regex):
     """A literal string; matches exactly ``text`` (must be nonempty)."""
 
-    __slots__ = ("text", "_nfa")
+    __slots__ = ("text", "_nfa", "_hash")
 
     def __init__(self, text: str):
         if not text:
             raise ValueError("Lit requires a nonempty string; use Epsilon")
         self.text = text
         self._nfa = None
+        self._hash = None
 
     def nullable(self) -> bool:
         return False
@@ -119,9 +127,14 @@ class Lit(Regex):
 
 
 class CharClass(Regex):
-    """A single character drawn from a set, e.g. ``[a-z]``."""
+    """A single character drawn from a set, e.g. ``[a-z]``.
 
-    __slots__ = ("chars", "_nfa")
+    ``sorted_chars`` is precomputed so samplers drawing from the class
+    (every repetition unit after character generalization) need not
+    re-sort the set on every draw.
+    """
+
+    __slots__ = ("chars", "sorted_chars", "_nfa", "_hash")
 
     def __init__(self, chars):
         chars = frozenset(chars)
@@ -131,7 +144,9 @@ class CharClass(Regex):
             if len(c) != 1:
                 raise ValueError("CharClass members must be single characters")
         self.chars = chars
+        self.sorted_chars = tuple(sorted(chars))
         self._nfa = None
+        self._hash = None
 
     def nullable(self) -> bool:
         return False
@@ -148,13 +163,14 @@ class CharClass(Regex):
 class Concat(Regex):
     """Sequencing of two or more subexpressions."""
 
-    __slots__ = ("parts", "_nfa")
+    __slots__ = ("parts", "_nfa", "_hash")
 
     def __init__(self, parts: Sequence[Regex]):
         self.parts = tuple(parts)
         if len(self.parts) < 2:
             raise ValueError("Concat requires at least two parts; use concat()")
         self._nfa = None
+        self._hash = None
 
     def children(self) -> Tuple[Regex, ...]:
         return self.parts
@@ -178,13 +194,14 @@ class Concat(Regex):
 class Alt(Regex):
     """Alternation of two or more subexpressions (the paper's ``+``)."""
 
-    __slots__ = ("options", "_nfa")
+    __slots__ = ("options", "_nfa", "_hash")
 
     def __init__(self, options: Sequence[Regex]):
         self.options = tuple(options)
         if len(self.options) < 2:
             raise ValueError("Alt requires at least two options; use alt()")
         self._nfa = None
+        self._hash = None
 
     def children(self) -> Tuple[Regex, ...]:
         return self.options
@@ -202,11 +219,12 @@ class Alt(Regex):
 class Star(Regex):
     """Kleene star of a subexpression."""
 
-    __slots__ = ("inner", "_nfa")
+    __slots__ = ("inner", "_nfa", "_hash")
 
     def __init__(self, inner: Regex):
         self.inner = inner
         self._nfa = None
+        self._hash = None
 
     def children(self) -> Tuple[Regex, ...]:
         return (self.inner,)

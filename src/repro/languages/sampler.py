@@ -87,7 +87,7 @@ class GrammarSampler:
             if isinstance(sym, Nonterminal):
                 children.append(self._sample_nonterminal(sym, depth + 1))
             elif isinstance(sym, CharSet):
-                children.append(self.rng.choice(sorted(sym.chars)))
+                children.append(self.rng.choice(sym.sorted_chars))
             else:
                 children.append(sym)
         return ParseTree(symbol=head, production=production, children=children)
@@ -157,7 +157,7 @@ def sample_regex(
         if isinstance(node, rx.Lit):
             return node.text
         if isinstance(node, rx.CharClass):
-            return rng.choice(sorted(node.chars))
+            return rng.choice(node.sorted_chars)
         if isinstance(node, rx.Concat):
             return "".join(go(part) for part in node.parts)
         if isinstance(node, rx.Alt):

@@ -14,9 +14,13 @@ from repro.learning.oracle import (
     LearningTimeout,
     Oracle,
     OracleBudgetExceeded,
+    SubprocessOracle,
     grammar_oracle,
     program_oracle,
+    query_all,
+    query_many,
     regex_oracle,
+    supports_concurrency,
 )
 from repro.learning.rpni import RPNIResult, rpni
 
@@ -32,9 +36,13 @@ __all__ = [
     "PerfectEquivalenceOracle",
     "RPNIResult",
     "SamplingEquivalenceOracle",
+    "SubprocessOracle",
     "grammar_oracle",
     "lstar",
     "program_oracle",
+    "query_all",
+    "query_many",
     "regex_oracle",
     "rpni",
+    "supports_concurrency",
 ]

@@ -6,11 +6,23 @@ accepted. Everything in this reproduction that needs membership — GLADE's
 checks, L-Star's queries, RPNI's negatives, the precision metric — goes
 through the callables defined here, so oracles compose (caching, counting,
 budget enforcement) uniformly.
+
+Besides single queries, the stack supports *batched* queries via
+:func:`query_many`: GLADE's candidate checks, character-generalization
+probes, and merge checks are mutually independent, so an oracle that can
+answer them concurrently (notably :class:`SubprocessOracle`) is handed
+the whole batch at once. Wrappers forward batches inward, preserving
+their counting/caching/deadline semantics.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import os
+import subprocess
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 Oracle = Callable[[str], bool]
 
@@ -21,6 +33,53 @@ class OracleBudgetExceeded(Exception):
 
 class LearningTimeout(Exception):
     """Raised when a learner exceeds its wall-clock deadline (§8.2)."""
+
+
+def supports_concurrency(oracle: Oracle) -> bool:
+    """True if the oracle stack answers batches genuinely in parallel.
+
+    Wrappers expose a ``concurrent`` property delegating inward, so the
+    flag propagates through counting/caching/deadline layers down to the
+    base oracle (:class:`SubprocessOracle` with more than one worker).
+    """
+    return bool(getattr(oracle, "concurrent", False))
+
+
+def query_many(oracle: Oracle, texts: Sequence[str]) -> List[bool]:
+    """Evaluate a batch of *independent* membership queries.
+
+    A concurrent oracle stack is handed the batch through its own
+    ``query_many`` method (every wrapper below forwards batches inward;
+    :class:`SubprocessOracle` answers them from a thread pool). A
+    sequential stack is queried one string at a time — identical
+    results and counting, without the batch bookkeeping. Results are
+    returned in input order.
+    """
+    if supports_concurrency(oracle):
+        batched = getattr(oracle, "query_many", None)
+        if batched is not None:
+            return batched(texts)
+    return [oracle(text) for text in texts]
+
+
+def query_all(oracle: Oracle, texts: Sequence[str]) -> bool:
+    """True iff every text is accepted (a conjunctive check batch).
+
+    Sequential oracles keep the paper's short-circuit semantics — stop
+    at the first rejection, issuing no further queries — so query counts
+    are unchanged. A concurrent stack is handed the whole batch at once:
+    it may issue more queries than strict short-circuiting, but answers
+    them in parallel, trading queries for wall-clock.
+    """
+    texts = list(texts)
+    if not texts:
+        return True
+    if supports_concurrency(oracle):
+        return all(query_many(oracle, texts))
+    for text in texts:
+        if not oracle(text):
+            return False
+    return True
 
 
 class DeadlineOracle:
@@ -36,12 +95,26 @@ class DeadlineOracle:
         self._oracle = oracle
         self.deadline = deadline
 
-    def __call__(self, text: str) -> bool:
-        import time
+    @property
+    def concurrent(self) -> bool:
+        return supports_concurrency(self._oracle)
 
+    def __call__(self, text: str) -> bool:
         if time.monotonic() > self.deadline:
             raise LearningTimeout("oracle deadline exceeded")
         return self._oracle(text)
+
+    def query_many(self, texts: Sequence[str]) -> List[bool]:
+        if not supports_concurrency(self._oracle):
+            # Sequential: keep the per-query deadline check of __call__.
+            return [self(text) for text in texts]
+        # Concurrent: the deadline is checked once up front — an
+        # in-flight batch cannot be interrupted, so a batch may overrun
+        # the deadline by up to its own duration before the next check
+        # fires.
+        if time.monotonic() > self.deadline:
+            raise LearningTimeout("oracle deadline exceeded")
+        return query_many(self._oracle, texts)
 
 
 class CountingOracle:
@@ -51,9 +124,17 @@ class CountingOracle:
         self._oracle = oracle
         self.queries = 0
 
+    @property
+    def concurrent(self) -> bool:
+        return supports_concurrency(self._oracle)
+
     def __call__(self, text: str) -> bool:
         self.queries += 1
         return self._oracle(text)
+
+    def query_many(self, texts: Sequence[str]) -> List[bool]:
+        self.queries += len(texts)
+        return query_many(self._oracle, texts)
 
 
 class CachingOracle:
@@ -62,23 +143,63 @@ class CachingOracle:
     GLADE's candidate enumeration re-derives the same check strings many
     times (e.g. the ε check of every star candidate); caching keeps the
     *distinct*-query count equal to what the algorithm fundamentally
-    needs. ``unique_queries`` reports that count.
+    needs. ``unique_queries`` reports that count: the number of distinct
+    strings ever forwarded to the wrapped oracle. A separate seen-set
+    keeps the count exact even when ``max_size`` bounds the result
+    cache (results for overflow strings are recomputed, but a string is
+    never counted twice).
     """
 
     def __init__(self, oracle: Oracle, max_size: Optional[int] = None):
         self._oracle = oracle
         self._cache: Dict[str, bool] = {}
+        # Distinct strings are tracked by hash, not by value, so a
+        # bounded cache stays memory-bounded per distinct string (O(1)
+        # instead of retaining every evicted string); a hash collision
+        # undercounting the metric is astronomically unlikely.
+        self._seen: Set[int] = set()
         self._max_size = max_size
         self.unique_queries = 0
+
+    @property
+    def concurrent(self) -> bool:
+        return supports_concurrency(self._oracle)
+
+    def _record(self, text: str, result: bool) -> None:
+        fingerprint = hash(text)
+        if fingerprint not in self._seen:
+            self._seen.add(fingerprint)
+            self.unique_queries += 1
+        if self._max_size is None or len(self._cache) < self._max_size:
+            self._cache[text] = result
 
     def __call__(self, text: str) -> bool:
         if text in self._cache:
             return self._cache[text]
         result = self._oracle(text)
-        self.unique_queries += 1
-        if self._max_size is None or len(self._cache) < self._max_size:
-            self._cache[text] = result
+        self._record(text, result)
         return result
+
+    def query_many(self, texts: Sequence[str]) -> List[bool]:
+        results: Dict[int, bool] = {}
+        misses: List[str] = []
+        miss_positions: Dict[str, List[int]] = {}
+        for index, text in enumerate(texts):
+            if text in self._cache:
+                results[index] = self._cache[text]
+            else:
+                positions = miss_positions.get(text)
+                if positions is None:
+                    miss_positions[text] = positions = []
+                    misses.append(text)
+                positions.append(index)
+        if misses:
+            answers = query_many(self._oracle, misses)
+            for text, answer in zip(misses, answers):
+                self._record(text, answer)
+                for index in miss_positions[text]:
+                    results[index] = answer
+        return [results[index] for index in range(len(texts))]
 
 
 class BudgetOracle:
@@ -86,13 +207,18 @@ class BudgetOracle:
 
     This is the deterministic analog of the paper's 300-second timeout:
     baselines that issue pathologically many membership queries (§8.2
-    observes this for L-Star) are cut off reproducibly.
+    observes this for L-Star) are cut off reproducibly. A batch that
+    would overrun the budget raises before any of it is dispatched.
     """
 
     def __init__(self, oracle: Oracle, budget: int):
         self._oracle = oracle
         self.budget = budget
         self.queries = 0
+
+    @property
+    def concurrent(self) -> bool:
+        return supports_concurrency(self._oracle)
 
     def __call__(self, text: str) -> bool:
         if self.queries >= self.budget:
@@ -101,6 +227,14 @@ class BudgetOracle:
             )
         self.queries += 1
         return self._oracle(text)
+
+    def query_many(self, texts: Sequence[str]) -> List[bool]:
+        if self.queries + len(texts) > self.budget:
+            raise OracleBudgetExceeded(
+                "membership-query budget of {} exhausted".format(self.budget)
+            )
+        self.queries += len(texts)
+        return query_many(self._oracle, texts)
 
 
 def grammar_oracle(grammar) -> Oracle:
@@ -143,6 +277,13 @@ class SubprocessOracle:
     ``error_marker`` searched for in stderr (the paper: "we conclude
     that α is a valid input if the program does not print an error
     message").
+
+    Batches (:func:`query_many`) run up to ``max_workers`` subprocesses
+    concurrently; each query is an independent process, so no ordering
+    or state is shared between them. The default ``max_workers=1``
+    keeps the stack sequential — and with it the paper's short-circuit
+    query accounting; concurrency is an explicit opt-in that trades
+    extra queries for wall-clock.
     """
 
     def __init__(
@@ -151,25 +292,29 @@ class SubprocessOracle:
         input_mode: str = "stdin",
         timeout_seconds: float = 5.0,
         error_marker: Optional[str] = None,
+        max_workers: int = 1,
     ):
         if input_mode not in ("stdin", "file"):
             raise ValueError("input_mode must be 'stdin' or 'file'")
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.command = list(command)
         self.input_mode = input_mode
         self.timeout_seconds = timeout_seconds
         self.error_marker = error_marker
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def concurrent(self) -> bool:
+        return self.max_workers > 1
 
     def __call__(self, text: str) -> bool:
-        import subprocess
-        import tempfile
-
         command = self.command
         stdin_data: Optional[str] = text
         tmp_path: Optional[str] = None
         try:
             if self.input_mode == "file":
-                import os
-
                 fd, tmp_path = tempfile.mkstemp(prefix="repro-oracle-")
                 with os.fdopen(fd, "w") as handle:
                     handle.write(text)
@@ -196,9 +341,32 @@ class SubprocessOracle:
             return True
         finally:
             if tmp_path is not None:
-                import os
-
                 try:
                     os.unlink(tmp_path)
                 except OSError:
                     pass
+
+    def query_many(self, texts: Sequence[str]) -> List[bool]:
+        texts = list(texts)
+        if len(texts) <= 1:
+            return [self(text) for text in texts]
+        if self._pool is None:
+            # Created lazily and kept for the oracle's lifetime: the
+            # learner issues thousands of small batches, so per-batch
+            # pool setup/teardown would dominate. Release with close()
+            # (or a with-block) in long-lived processes; otherwise the
+            # interpreter joins the idle workers at exit.
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return list(self._pool.map(self, texts))
+
+    def close(self) -> None:
+        """Shut down the batch thread pool (a later batch recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SubprocessOracle":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

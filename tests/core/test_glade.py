@@ -80,6 +80,17 @@ def test_statistics_populated():
     assert isinstance(result, GladeResult)
 
 
+def test_oracle_queries_count_cache_hits():
+    """Regression (ISSUE 1): the counter wraps the cache, so re-derived
+    duplicate checks (e.g. the ε check of every star candidate) count as
+    queries while ``unique_queries`` keeps the distinct-string count.
+    With the wrappers in the old order the two were equal by
+    construction."""
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    result = learn_grammar(["<a>hi</a>"], xml_like_oracle, config)
+    assert result.oracle_queries > result.unique_queries
+
+
 def test_combined_regex_property():
     config = GladeConfig(alphabet="ab", enable_chargen=False)
     result = learn_grammar(

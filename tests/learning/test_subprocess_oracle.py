@@ -60,6 +60,38 @@ class TestSubprocessOracle:
         with pytest.raises(ValueError):
             SubprocessOracle(["true"], input_mode="socket")
 
+    def test_bad_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            SubprocessOracle(["true"], max_workers=0)
+
+    def test_concurrent_flag(self):
+        # Concurrency is an explicit opt-in: the default stays
+        # sequential to preserve short-circuit query accounting.
+        assert not _oracle().concurrent
+        assert _oracle(max_workers=4).concurrent
+
+    def test_query_many_runs_batch(self):
+        oracle = _oracle(max_workers=4)
+        texts = ["aaa", "abc", "", "a", "aa"]
+        assert oracle.query_many(texts) == [True, False, False, True, True]
+
+    def test_query_many_single_item(self):
+        assert _oracle().query_many(["aa"]) == [True]
+        assert _oracle().query_many([]) == []
+
+    def test_close_releases_pool_and_later_batches_recreate_it(self):
+        oracle = _oracle(max_workers=2)
+        assert oracle.query_many(["aa", "bc"]) == [True, False]
+        oracle.close()
+        assert oracle._pool is None
+        assert oracle.query_many(["a", "c"]) == [True, False]
+        oracle.close()
+
+    def test_context_manager_closes_pool(self):
+        with _oracle(max_workers=2) as oracle:
+            assert oracle.query_many(["aa", "bc"]) == [True, False]
+        assert oracle._pool is None
+
 
 class TestCLI:
     def test_learn_from_inline_seed(self, capsys, tmp_path):
