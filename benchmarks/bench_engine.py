@@ -69,5 +69,40 @@ def test_engine_states_built(once):
     assert engine["states_built"] * 5 <= scratch["states_built"]
 
 
+def main(argv=None):
+    """CLI: print the comparison; ``--json PATH`` also writes the rows.
+
+    The CI benchmark smoke job runs this with ``--json
+    BENCH_engine.json`` and uploads the result, so the perf trajectory
+    is recorded per commit.
+    """
+    import argparse
+    import json
+    import platform
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the benchmark rows as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+    rows = run_engine_comparison()
+    print(format_comparison(rows))
+    if args.json:
+        engine, scratch = rows[0], rows[1]
+        payload = {
+            "benchmark": "bench_engine",
+            "python": platform.python_version(),
+            "rows": rows,
+            "construction_ratio": (
+                scratch["states_built"] / engine["states_built"]
+            ),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print("wrote {}".format(args.json))
+    return 0
+
+
 if __name__ == "__main__":
-    print(format_comparison(run_engine_comparison()))
+    raise SystemExit(main())

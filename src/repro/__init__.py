@@ -19,12 +19,22 @@ For fuzzing (§8.3), combine the learned grammar with
 :class:`repro.fuzzing.GrammarFuzzer`.
 """
 
+from repro.artifacts import (
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    NullCheckpointStore,
+    RunArtifact,
+    SCHEMA_VERSION,
+    load_artifact,
+    save_artifact,
+)
 from repro.core.glade import (
     DEFAULT_ALPHABET,
     GladeConfig,
     GladeResult,
     learn_grammar,
 )
+from repro.core.pipeline import LearningPipeline, SeedRejected
 from repro.languages.cfg import (
     CharSet,
     Grammar,
@@ -59,12 +69,19 @@ __all__ = [
     "CountingOracle",
     "DEFAULT_ALPHABET",
     "Engine",
+    "FileCheckpointStore",
     "GladeConfig",
     "GladeResult",
     "Grammar",
     "GrammarSampler",
+    "LearningPipeline",
     "MembershipSession",
+    "MemoryCheckpointStore",
     "Nonterminal",
+    "NullCheckpointStore",
+    "RunArtifact",
+    "SCHEMA_VERSION",
+    "SeedRejected",
     "Oracle",
     "OracleBudgetExceeded",
     "ParseTree",
@@ -72,6 +89,7 @@ __all__ = [
     "SubprocessOracle",
     "grammar_oracle",
     "learn_grammar",
+    "load_artifact",
     "parse",
     "program_oracle",
     "query_all",
@@ -79,6 +97,7 @@ __all__ = [
     "recognize",
     "regex_oracle",
     "sample_regex",
+    "save_artifact",
     "supports_concurrency",
     "__version__",
 ]

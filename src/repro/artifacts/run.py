@@ -1,0 +1,240 @@
+"""The top-level run artifact: everything one learning run produces.
+
+A :class:`RunArtifact` is the durable record of a
+:class:`~repro.core.pipeline.LearningPipeline` run — seeds with
+provenance and per-seed state, the configuration, the oracle command
+(so ``repro resume`` can reconstruct the oracle), per-seed phase-one
+results, the translated/merged grammar, accumulated query statistics,
+and per-stage wall-clock timings. It holds *live* objects (``Regex``,
+``GRoot``, ``Grammar``); :meth:`to_dict`/:meth:`from_dict` convert to
+and from the versioned JSON encoding of
+:mod:`repro.artifacts.schema`.
+
+The same object doubles as the checkpoint format: the pipeline saves it
+after every completed stage (per seed during phase one), and
+:meth:`~repro.core.pipeline.LearningPipeline.resume` picks up from
+whatever the last save recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.artifacts.schema import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    grammar_from_dict,
+    grammar_to_dict,
+    phase1_result_from_dict,
+    phase1_result_to_dict,
+    phase2_result_from_dict,
+    phase2_result_to_dict,
+)
+from repro.core.glade import GladeConfig, GladeResult
+from repro.core.phase1 import Phase1Result
+from repro.core.phase2 import Phase2Result
+from repro.languages.cfg import Grammar
+
+#: Pipeline stages in execution order; ``RunArtifact.stage`` names the
+#: last *completed* one ("init" before any stage has finished).
+STAGES = ("validate", "phase1", "translate", "phase2", "finalize")
+
+#: Seed lifecycle states.
+SEED_PENDING = "pending"  # not yet validated against the oracle
+SEED_VALIDATED = "validated"  # accepted by the oracle, not yet learned
+SEED_USED = "used"  # phase 1 + chargen completed
+SEED_SKIPPED = "skipped"  # covered by an earlier seed's regex (§6.1)
+
+
+@dataclass
+class SeedRecord:
+    """One seed input with provenance and lifecycle state.
+
+    ``source`` says where the seed came from (``seeds.txt:3``,
+    ``--seed[0]``, a file path, ...) so oracle rejections in large
+    ``--seed-dir`` runs are diagnosable. ``queries`` counts the oracle
+    queries spent learning this seed (phase 1 + chargen), recorded when
+    the seed's checkpoint is written.
+    """
+
+    text: str
+    source: str = ""
+    state: str = SEED_PENDING
+    queries: int = 0
+
+
+@dataclass
+class RunArtifact:
+    """Serializable record of a (possibly in-progress) learning run."""
+
+    seeds: List[SeedRecord]
+    config: GladeConfig = field(default_factory=GladeConfig)
+    #: Oracle reconstruction info for ``repro resume`` (None when the
+    #: oracle was an in-process callable that cannot be persisted).
+    oracle_spec: Optional[Dict[str, Any]] = None
+    #: Last completed stage; see :data:`STAGES`.
+    stage: str = "init"
+    status: str = "in_progress"  # "in_progress" | "complete"
+    phase1_results: List[Phase1Result] = field(default_factory=list)
+    grammar: Optional[Grammar] = None
+    phase2_result: Optional[Phase2Result] = None
+    oracle_queries: int = 0
+    unique_queries: int = 0
+    #: Per-stage wall-clock seconds, accumulated across resumes.
+    timings: Dict[str, float] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- derived views ----------------------------------------------------
+
+    def stage_done(self, stage: str) -> bool:
+        """True if ``stage`` (and every earlier stage) has completed."""
+        if self.stage == "init":
+            return False
+        return STAGES.index(self.stage) >= STAGES.index(stage)
+
+    def trees(self):
+        return [result.root for result in self.phase1_results]
+
+    def regexes(self):
+        return [root.to_regex() for root in self.trees()]
+
+    def seeds_used(self) -> List[str]:
+        return [s.text for s in self.seeds if s.state == SEED_USED]
+
+    def seeds_skipped(self) -> List[str]:
+        return [s.text for s in self.seeds if s.state == SEED_SKIPPED]
+
+    def duration_seconds(self) -> float:
+        return sum(self.timings.values())
+
+    def require_grammar(self) -> Grammar:
+        """The learned grammar, or :class:`ArtifactError` if the run has
+        not reached translation yet (resume the run first)."""
+        if self.grammar is None:
+            raise ArtifactError(
+                "artifact has no grammar yet (stage: {}); resume the "
+                "run first".format(self.stage)
+            )
+        return self.grammar
+
+    def to_glade_result(self) -> GladeResult:
+        """View the completed run as a :class:`~repro.core.glade.GladeResult`."""
+        self.require_grammar()
+        return GladeResult(
+            grammar=self.grammar,
+            regexes=self.regexes(),
+            trees=self.trees(),
+            seeds_used=self.seeds_used(),
+            seeds_skipped=self.seeds_skipped(),
+            phase1_results=self.phase1_results,
+            phase2_result=self.phase2_result,
+            oracle_queries=self.oracle_queries,
+            unique_queries=self.unique_queries,
+            duration_seconds=self.duration_seconds(),
+        )
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": "glade-run",
+            "status": self.status,
+            "stage": self.stage,
+            "seeds": [asdict(record) for record in self.seeds],
+            "config": asdict(self.config),
+            "oracle": self.oracle_spec,
+            "phase1_results": [
+                phase1_result_to_dict(r) for r in self.phase1_results
+            ],
+            "grammar": (
+                grammar_to_dict(self.grammar)
+                if self.grammar is not None
+                else None
+            ),
+            "phase2_result": (
+                phase2_result_to_dict(self.phase2_result)
+                if self.phase2_result is not None
+                else None
+            ),
+            "oracle_queries": self.oracle_queries,
+            "unique_queries": self.unique_queries,
+            "timings": dict(self.timings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunArtifact":
+        if not isinstance(data, dict) or data.get("kind") != "glade-run":
+            raise ArtifactError(
+                "not a glade-run artifact (kind: {!r})".format(
+                    data.get("kind") if isinstance(data, dict) else None
+                )
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ArtifactError(
+                "artifact schema version {!r} is not supported by this "
+                "build (expected {}); re-learn or convert the artifact".format(
+                    version, SCHEMA_VERSION
+                )
+            )
+        try:
+            stage = data["stage"]
+            if stage != "init" and stage not in STAGES:
+                raise ArtifactError(
+                    "unknown pipeline stage: {!r}".format(stage)
+                )
+            return cls(
+                seeds=[SeedRecord(**record) for record in data["seeds"]],
+                config=GladeConfig(**data["config"]),
+                oracle_spec=data.get("oracle"),
+                stage=stage,
+                status=data["status"],
+                phase1_results=[
+                    phase1_result_from_dict(r) for r in data["phase1_results"]
+                ],
+                grammar=(
+                    grammar_from_dict(data["grammar"])
+                    if data["grammar"] is not None
+                    else None
+                ),
+                phase2_result=(
+                    phase2_result_from_dict(data["phase2_result"])
+                    if data["phase2_result"] is not None
+                    else None
+                ),
+                oracle_queries=data["oracle_queries"],
+                unique_queries=data["unique_queries"],
+                timings=dict(data["timings"]),
+                schema_version=version,
+            )
+        except (KeyError, TypeError) as exc:
+            raise ArtifactError(
+                "malformed run artifact: {!r}".format(exc)
+            )
+
+
+def save_artifact(
+    artifact: RunArtifact, path: Union[str, os.PathLike]
+) -> None:
+    """Write an artifact as JSON, atomically (write-temp + rename)."""
+    path = pathlib.Path(path)
+    payload = json.dumps(artifact.to_dict(), indent=1, sort_keys=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    tmp_path.write_text(payload)
+    os.replace(tmp_path, path)
+
+
+def load_artifact(path: Union[str, os.PathLike]) -> RunArtifact:
+    """Load an artifact written by :func:`save_artifact`."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(
+            "artifact {} is not valid JSON: {}".format(path, exc)
+        )
+    return RunArtifact.from_dict(data)

@@ -1,0 +1,86 @@
+"""Pluggable checkpoint stores for the learning pipeline.
+
+The pipeline calls :meth:`CheckpointStore.save` after every completed
+stage (per seed during phase one). A store decides what durability
+means: :class:`FileCheckpointStore` writes the JSON artifact atomically
+to disk (the CLI's ``learn --out`` / ``resume`` path);
+:class:`MemoryCheckpointStore` keeps the serialized snapshots in memory
+— every save is pushed through the full JSON encoding, so tests that
+resume from a mid-run snapshot exercise exactly what a crash-and-reload
+would; :class:`NullCheckpointStore` does nothing (the default for
+in-process :func:`~repro.core.glade.learn_grammar` calls, which then
+pay zero serialization overhead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Union
+
+from repro.artifacts.run import RunArtifact, load_artifact, save_artifact
+
+
+class CheckpointStore:
+    """Interface: persist run artifacts and load the latest one back."""
+
+    def save(self, artifact: RunArtifact) -> None:
+        raise NotImplementedError
+
+    def load(self) -> Optional[RunArtifact]:
+        """Return the most recently saved artifact, or None if none exists."""
+        raise NotImplementedError
+
+
+class NullCheckpointStore(CheckpointStore):
+    """A store that never persists anything."""
+
+    def save(self, artifact: RunArtifact) -> None:
+        pass
+
+    def load(self) -> Optional[RunArtifact]:
+        return None
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Keep every checkpoint as a JSON string, for tests.
+
+    ``snapshots`` grows by one entry per save; ``snapshot(i)``
+    deserializes entry ``i`` into a fresh :class:`RunArtifact` —
+    resuming from it reproduces a crash that lost everything after that
+    save.
+    """
+
+    def __init__(self):
+        self.snapshots: List[str] = []
+
+    def save(self, artifact: RunArtifact) -> None:
+        self.snapshots.append(json.dumps(artifact.to_dict()))
+
+    def load(self) -> Optional[RunArtifact]:
+        if not self.snapshots:
+            return None
+        return self.snapshot(-1)
+
+    def snapshot(self, index: int) -> RunArtifact:
+        return RunArtifact.from_dict(json.loads(self.snapshots[index]))
+
+
+class FileCheckpointStore(CheckpointStore):
+    """Persist checkpoints to one JSON file, atomically.
+
+    Each save overwrites the file via write-to-temp + ``os.replace``,
+    so a crash mid-write leaves the previous checkpoint intact rather
+    than a truncated file.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = path
+
+    def save(self, artifact: RunArtifact) -> None:
+        save_artifact(artifact, self.path)
+
+    def load(self) -> Optional[RunArtifact]:
+        if not os.path.exists(self.path):
+            return None
+        return load_artifact(self.path)

@@ -1,15 +1,24 @@
 """Command-line interface: ``python -m repro``.
 
+The CLI is artifact-centric: learning produces a durable run artifact
+(a versioned JSON file, see README.md) that later subcommands — and
+interrupted runs — pick up from.
+
 Synthesize a grammar for a real executable, GLADE-style::
 
     python -m repro learn --seed-file seeds.txt \\
-        --command "python validate.py" --samples 5
+        --command "python validate.py" --out run.json --samples 5
 
 ``--seed-file`` holds one seed input per line (use ``--seed-dir`` for a
 directory of whole-file seeds, e.g. multi-line programs). The command is
 run once per membership query with the candidate on stdin; exit status 0
-means "accepted" (§2 of the paper). The learned grammar is printed along
-with fresh samples drawn from it.
+means "accepted" (§2 of the paper). With ``--out``, a checkpoint is
+written after every completed pipeline stage (per seed during phase
+one), so a killed run loses nothing::
+
+    python -m repro resume run.json        # continue where it died
+    python -m repro sample run.json -n 10  # draw fresh samples
+    python -m repro show run.json          # stages, timings, grammar
 """
 
 from __future__ import annotations
@@ -19,24 +28,178 @@ import pathlib
 import random
 import shlex
 import sys
+from typing import List, Tuple
 
-from repro.core.glade import DEFAULT_ALPHABET, GladeConfig, learn_grammar
+from repro.artifacts import (
+    ArtifactError,
+    FileCheckpointStore,
+    RunArtifact,
+    load_artifact,
+)
+from repro.core.glade import DEFAULT_ALPHABET, GladeConfig
+from repro.core.pipeline import LearningPipeline, SeedRejected
 from repro.languages.sampler import GrammarSampler
 from repro.learning.oracle import SubprocessOracle
 
 
-def _load_seeds(args) -> list:
-    seeds = []
+def _load_seeds(args) -> List[Tuple[str, str]]:
+    """Return (text, source) pairs; source is the seed's provenance."""
+    seeds: List[Tuple[str, str]] = []
     if args.seed_file:
         content = pathlib.Path(args.seed_file).read_text()
-        seeds.extend(line for line in content.splitlines() if line)
+        for lineno, line in enumerate(content.splitlines(), start=1):
+            if line:
+                seeds.append((line, "{}:{}".format(args.seed_file, lineno)))
     if args.seed_dir:
         for path in sorted(pathlib.Path(args.seed_dir).iterdir()):
             if path.is_file():
-                seeds.append(path.read_text())
+                seeds.append((path.read_text(), str(path)))
     if args.seed:
-        seeds.extend(args.seed)
+        for index, seed in enumerate(args.seed):
+            seeds.append((seed, "--seed[{}]".format(index)))
     return seeds
+
+
+def _oracle_from_spec(spec: dict) -> SubprocessOracle:
+    return SubprocessOracle(
+        spec["command"],
+        input_mode=spec.get("input_mode", "stdin"),
+        timeout_seconds=spec.get("timeout_seconds", 5.0),
+        error_marker=spec.get("error_marker"),
+        max_workers=spec.get("max_workers", 1),
+    )
+
+
+def _print_artifact_result(artifact: RunArtifact) -> None:
+    result = artifact.to_glade_result()
+    print("# phase-one regex: {}".format(result.regex()))
+    print(
+        "# {} oracle queries ({} unique), {:.1f}s".format(
+            result.oracle_queries,
+            result.unique_queries,
+            result.duration_seconds,
+        )
+    )
+    print(result.grammar)
+
+
+def _print_samples(artifact: RunArtifact, count: int, rng_seed: int) -> None:
+    if count <= 0:
+        return
+    print()
+    sampler = GrammarSampler(artifact.grammar, random.Random(rng_seed))
+    for _ in range(count):
+        print("# sample: {!r}".format(sampler.sample()))
+
+
+def _add_sampling_options(parser, default_count: int) -> None:
+    parser.add_argument(
+        "--samples", type=int, default=default_count,
+        help="number of samples to draw from the learned grammar",
+    )
+    parser.add_argument(
+        "--rng-seed", type=int, default=0,
+        help="PRNG seed for grammar sampling (default 0, deterministic)",
+    )
+
+
+def _cmd_learn(args, parser) -> int:
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
+    pairs = _load_seeds(args)
+    if not pairs:
+        parser.error("no seeds given (use --seed/--seed-file/--seed-dir)")
+    seeds = [text for text, _source in pairs]
+    sources = [source for _text, source in pairs]
+    command = shlex.split(args.command)
+    oracle_spec = {
+        "command": command,
+        "input_mode": "stdin",
+        "timeout_seconds": args.timeout,
+        "max_workers": args.workers,
+    }
+    oracle = _oracle_from_spec(oracle_spec)
+    config = GladeConfig(
+        alphabet=args.alphabet,
+        enable_phase2=not args.no_phase2,
+        enable_chargen=not args.no_chargen,
+    )
+    store = None
+    if args.out:
+        if pathlib.Path(args.out).exists() and not args.force:
+            # Never silently clobber checkpointed work — that is the
+            # one thing the artifact exists to preserve.
+            try:
+                existing = load_artifact(args.out)
+            except ArtifactError:
+                existing = None
+            if existing is not None and existing.status == "in_progress":
+                parser.error(
+                    "{} holds an in-progress run; `repro resume {}` "
+                    "continues it, or pass --force to start over".format(
+                        args.out, args.out
+                    )
+                )
+        store = FileCheckpointStore(args.out)
+    pipeline = LearningPipeline(
+        oracle, config=config, store=store, oracle_spec=oracle_spec
+    )
+    artifact = pipeline.run(seeds, sources=sources)
+    _print_artifact_result(artifact)
+    if args.out:
+        print("# artifact written to {}".format(args.out))
+    _print_samples(artifact, args.samples, args.rng_seed)
+    return 0
+
+
+def _cmd_resume(args, parser) -> int:
+    artifact = load_artifact(args.artifact)
+    if artifact.status == "complete":
+        print("# run already complete; nothing to resume")
+        _print_artifact_result(artifact)
+        _print_samples(artifact, args.samples, args.rng_seed)
+        return 0
+    if artifact.oracle_spec is None:
+        parser.error(
+            "artifact records no oracle command; it was produced by an "
+            "in-process run and cannot be resumed from the CLI"
+        )
+    spec = dict(artifact.oracle_spec)
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be at least 1")
+        spec["max_workers"] = args.workers
+    if args.timeout is not None:
+        spec["timeout_seconds"] = args.timeout
+    oracle = _oracle_from_spec(spec)
+    pipeline = LearningPipeline(
+        oracle,
+        config=artifact.config,
+        store=FileCheckpointStore(args.artifact),
+        oracle_spec=artifact.oracle_spec,
+    )
+    artifact = pipeline.resume(artifact)
+    _print_artifact_result(artifact)
+    print("# artifact written to {}".format(args.artifact))
+    _print_samples(artifact, args.samples, args.rng_seed)
+    return 0
+
+
+def _cmd_sample(args, parser) -> int:
+    artifact = load_artifact(args.artifact)
+    grammar = artifact.require_grammar()
+    sampler = GrammarSampler(grammar, random.Random(args.rng_seed))
+    for _ in range(args.count):
+        print("{!r}".format(sampler.sample()))
+    return 0
+
+
+def _cmd_show(args, parser) -> int:
+    from repro.evaluation.reporting import summarize_artifact
+
+    artifact = load_artifact(args.artifact)
+    print(summarize_artifact(artifact))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -59,6 +222,16 @@ def main(argv=None) -> int:
         "--seed", action="append", help="inline seed (repeatable)"
     )
     learn.add_argument(
+        "--out",
+        help="write the run artifact here; checkpointed per stage so an "
+        "interrupted run can be continued with `repro resume`",
+    )
+    learn.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing in-progress artifact at --out "
+        "instead of refusing",
+    )
+    learn.add_argument(
         "--alphabet", default=DEFAULT_ALPHABET,
         help="input alphabet for character generalization",
     )
@@ -70,10 +243,7 @@ def main(argv=None) -> int:
         "--no-chargen", action="store_true",
         help="disable character generalization",
     )
-    learn.add_argument(
-        "--samples", type=int, default=5,
-        help="number of samples to draw from the learned grammar",
-    )
+    _add_sampling_options(learn, default_count=5)
     learn.add_argument(
         "--timeout", type=float, default=5.0,
         help="per-query subprocess timeout in seconds",
@@ -84,39 +254,49 @@ def main(argv=None) -> int:
         "the default 1 keeps the paper's short-circuit query counts, "
         "higher values trade extra queries for wall-clock",
     )
-    args = parser.parse_args(argv)
+    learn.set_defaults(handler=_cmd_learn)
 
-    if args.workers < 1:
-        parser.error("--workers must be at least 1")
-    seeds = _load_seeds(args)
-    if not seeds:
-        parser.error("no seeds given (use --seed/--seed-file/--seed-dir)")
-    oracle = SubprocessOracle(
-        shlex.split(args.command),
-        timeout_seconds=args.timeout,
-        max_workers=args.workers,
+    resume = sub.add_parser(
+        "resume", help="continue an interrupted run from its artifact"
     )
-    config = GladeConfig(
-        alphabet=args.alphabet,
-        enable_phase2=not args.no_phase2,
-        enable_chargen=not args.no_chargen,
+    resume.add_argument("artifact", help="run artifact written by learn --out")
+    resume.add_argument(
+        "--workers", type=int, default=None,
+        help="override the artifact's oracle worker count",
     )
-    result = learn_grammar(seeds, oracle, config)
-    print("# phase-one regex: {}".format(result.regex()))
-    print(
-        "# {} oracle queries ({} unique), {:.1f}s".format(
-            result.oracle_queries,
-            result.unique_queries,
-            result.duration_seconds,
-        )
+    resume.add_argument(
+        "--timeout", type=float, default=None,
+        help="override the artifact's per-query timeout",
     )
-    print(result.grammar)
-    if args.samples > 0:
-        print()
-        sampler = GrammarSampler(result.grammar, random.Random(0))
-        for _ in range(args.samples):
-            print("# sample: {!r}".format(sampler.sample()))
-    return 0
+    _add_sampling_options(resume, default_count=0)
+    resume.set_defaults(handler=_cmd_resume)
+
+    sample = sub.add_parser(
+        "sample", help="draw samples from a learned grammar artifact"
+    )
+    sample.add_argument("artifact", help="run artifact written by learn --out")
+    sample.add_argument(
+        "-n", "--count", type=int, default=5,
+        help="number of samples to draw",
+    )
+    sample.add_argument(
+        "--rng-seed", type=int, default=0,
+        help="PRNG seed for sampling (default 0, deterministic)",
+    )
+    sample.set_defaults(handler=_cmd_sample)
+
+    show = sub.add_parser(
+        "show", help="summarize a run artifact (stages, timings, grammar)"
+    )
+    show.add_argument("artifact", help="run artifact written by learn --out")
+    show.set_defaults(handler=_cmd_show)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, parser)
+    except (ArtifactError, SeedRejected, OSError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,37 +1,38 @@
 """GLADE's top level: Algorithm 1 plus the extensions of §6.
 
-:func:`learn_grammar` is the public entry point of this reproduction. It
-takes seed inputs and a membership oracle and returns a
-:class:`GladeResult` holding the synthesized context-free grammar
-together with per-seed regexes, merge information, and query statistics.
+:func:`learn_grammar` is the convenience entry point of this
+reproduction. It takes seed inputs and a membership oracle and returns
+a :class:`GladeResult` holding the synthesized context-free grammar
+together with per-seed regexes, merge information, and query
+statistics. The actual work runs in the staged
+:class:`~repro.core.pipeline.LearningPipeline` (which additionally
+supports durable checkpoints and resumable runs); this module keeps the
+configuration and result types.
 
 Pipeline (matching §7's discussion of phase ordering):
 
-1. **Phase one** per seed — regular-expression synthesis (§4); a seed
-   already in the language of the previously learned regexes is skipped
-   (the §6.1 optimization).
-2. **Character generalization** per seed (§6.2).
+1. **Seed validation** — the paper requires E_in ⊆ L*.
+2. **Phase one** per seed — regular-expression synthesis (§4) plus
+   character generalization (§6.2); a seed already in the language of
+   the previously learned regexes is skipped (the §6.1 optimization).
 3. **Translation** of all per-seed trees into one grammar with a
    top-level alternation (§5.1, §6.1).
 4. **Phase two** — repetition-subexpression merging across seeds (§5).
+5. **Finalize** — restrict to productions reachable from the start.
 """
 
 from __future__ import annotations
 
 import string
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.chargen import generalize_characters
-from repro.core.gtree import GRoot, stars_of
-from repro.core.phase1 import Phase1Result, synthesize_regex
-from repro.core.phase2 import Phase2Result, merge_repetitions
-from repro.core.translate import translate_trees
+from repro.core.gtree import GRoot
+from repro.core.phase1 import Phase1Result
+from repro.core.phase2 import Phase2Result
 from repro.languages import regex as rx
 from repro.languages.cfg import Grammar
-from repro.languages.engine import MembershipSession
-from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
+from repro.learning.oracle import Oracle
 
 #: Default input alphabet Σ for character generalization: printable
 #: ASCII (the paper's setting: programs take ASCII inputs, §2).
@@ -106,76 +107,28 @@ def learn_grammar(
     seeds: Sequence[str],
     oracle: Oracle,
     config: Optional[GladeConfig] = None,
+    store=None,
+    sources: Optional[Sequence[str]] = None,
 ) -> GladeResult:
     """Synthesize a context-free grammar from seeds and a membership oracle.
+
+    This is a convenience wrapper over
+    :class:`~repro.core.pipeline.LearningPipeline`, which runs the
+    staged version of Algorithm 1 (validate → per-seed phase 1 +
+    chargen → translate → phase 2 → finalize). ``store`` optionally
+    names a :class:`~repro.artifacts.store.CheckpointStore` to persist
+    per-stage checkpoints through; ``sources`` optionally labels each
+    seed's provenance for error messages. By default nothing is
+    persisted and the call behaves exactly as before the pipeline
+    existed.
 
     Raises ValueError if a seed is rejected by the oracle (the paper
     requires E_in ⊆ L*).
     """
+    from repro.core.pipeline import LearningPipeline
+
     if not seeds:
         raise ValueError("learn_grammar requires at least one seed input")
-    config = config if config is not None else GladeConfig()
-    # The counter wraps the cache so ``oracle_queries`` counts *every*
-    # membership query the algorithm issues — cache hits included — as
-    # the paper's cost metric requires; ``unique_queries`` (from the
-    # cache) is the distinct-string count.
-    cached = CachingOracle(oracle)
-    counting = CountingOracle(cached)
-    session = MembershipSession(use_engine=config.use_engine)
-    started = time.perf_counter()
-
-    trees: List[GRoot] = []
-    phase1_results: List[Phase1Result] = []
-    regexes: List[rx.Regex] = []
-    seeds_used: List[str] = []
-    seeds_skipped: List[str] = []
-
-    for seed in seeds:
-        if not counting(seed):
-            raise ValueError(
-                "seed input rejected by the oracle: {!r}".format(seed)
-            )
-        if config.skip_covered_seeds and session.covers(seed):
-            seeds_skipped.append(seed)
-            continue
-        result = synthesize_regex(
-            seed,
-            counting,
-            record_trace=config.record_trace,
-            session=session,
-        )
-        if config.enable_chargen:
-            generalize_characters(result.root, counting, config.alphabet)
-        trees.append(result.root)
-        phase1_results.append(result)
-        learned = result.root.to_regex()
-        regexes.append(learned)
-        session.remember(learned)
-        seeds_used.append(seed)
-
-    grammar = translate_trees(trees)
-    phase2_result: Optional[Phase2Result] = None
-    if config.enable_phase2:
-        stars = [star for tree in trees for star in stars_of(tree)]
-        phase2_result = merge_repetitions(
-            grammar,
-            stars,
-            counting,
-            record_trace=config.record_trace,
-            mixed_checks=config.mixed_merge_checks,
-        )
-        grammar = phase2_result.grammar
-    grammar = grammar.restricted_to_reachable()
-
-    return GladeResult(
-        grammar=grammar,
-        regexes=regexes,
-        trees=trees,
-        seeds_used=seeds_used,
-        seeds_skipped=seeds_skipped,
-        phase1_results=phase1_results,
-        phase2_result=phase2_result,
-        oracle_queries=counting.queries,
-        unique_queries=cached.unique_queries,
-        duration_seconds=time.perf_counter() - started,
-    )
+    pipeline = LearningPipeline(oracle, config=config, store=store)
+    artifact = pipeline.run(seeds, sources=sources)
+    return artifact.to_glade_result()

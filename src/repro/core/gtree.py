@@ -39,11 +39,43 @@ class HoleKind(enum.Enum):
     ALT = "alt"
 
 
-_star_counter = itertools.count()
+class _StarCounter:
+    """Monotone id source for :class:`GStar` nodes.
+
+    Deserializing a checkpointed tree restores the original ``star_id``
+    values and *reserves* them (:func:`reserve_star_ids`), so stars
+    created after a resume continue exactly where the interrupted run
+    left off — grammar nonterminal names (``R<id>``) then match an
+    uninterrupted run byte for byte.
+    """
+
+    def __init__(self):
+        self.next_id = 0
+
+    def take(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+    def reserve(self, min_next: int) -> None:
+        if min_next > self.next_id:
+            self.next_id = min_next
+
+
+_star_counter = _StarCounter()
 
 
 def _next_star_id() -> int:
-    return next(_star_counter)
+    return _star_counter.take()
+
+
+def reserve_star_ids(min_next: int) -> None:
+    """Ensure future ``star_id`` values are at least ``min_next``.
+
+    Called by artifact deserialization so restored star ids are never
+    reused by stars created later in a resumed run.
+    """
+    _star_counter.reserve(min_next)
 
 
 class GNode:
@@ -118,11 +150,19 @@ class GStar(GNode):
     translated grammar for merging.
     """
 
-    def __init__(self, inner: GNode, rep_string: str, context: Context):
+    def __init__(
+        self,
+        inner: GNode,
+        rep_string: str,
+        context: Context,
+        star_id: Optional[int] = None,
+    ):
         self.children = [inner]
         self.rep_string = rep_string
         self.context = context
-        self.star_id = _next_star_id()
+        # An explicit ``star_id`` restores a deserialized star without
+        # consuming the counter (the caller reserves restored ids).
+        self.star_id = _next_star_id() if star_id is None else star_id
 
     @property
     def inner(self) -> GNode:

@@ -1,0 +1,230 @@
+"""The staged learning pipeline with checkpointed, resumable runs.
+
+:class:`LearningPipeline` decomposes GLADE's top level (Algorithm 1
+plus the §6 extensions) into named stages:
+
+    validate ──► phase1 (per seed: §4 synthesis + §6.2 chargen)
+             ──► translate (§5.1) ──► phase2 (§5 merging) ──► finalize
+
+After every completed stage — and after *every seed* inside phase one —
+the pipeline writes the full :class:`~repro.artifacts.run.RunArtifact`
+through its :class:`~repro.artifacts.store.CheckpointStore`. A crashed
+or killed run resumes from the last checkpoint: learned trees and the
+membership session are rehydrated from the artifact, finished seeds are
+never re-learned, and **no oracle query is re-issued for checkpointed
+work**. Because every stage is deterministic given the oracle's answers
+(phase-two residual sampling is seeded by star ids, which
+deserialization reserves — see :func:`repro.core.gtree.reserve_star_ids`),
+a resumed run produces a grammar byte-identical to an uninterrupted
+one, with the same accumulated query count.
+
+Query statistics accumulate across resumes: the artifact's counters are
+the base, and the current process's
+:class:`~repro.learning.oracle.CountingOracle` adds on top. For
+``oracle_queries`` (the paper's cost metric, counted *including* cache
+hits) the accumulated total equals an uninterrupted run's exactly;
+``unique_queries`` may count a string once per process that queried it,
+since the membership cache does not persist across restarts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.artifacts.run import (
+    SEED_PENDING,
+    SEED_SKIPPED,
+    SEED_USED,
+    SEED_VALIDATED,
+    RunArtifact,
+    SeedRecord,
+)
+from repro.artifacts.store import CheckpointStore, NullCheckpointStore
+from repro.core.chargen import generalize_characters
+from repro.core.glade import GladeConfig
+from repro.core.gtree import stars_of
+from repro.core.phase1 import synthesize_regex
+from repro.core.phase2 import merge_repetitions
+from repro.core.translate import translate_trees
+from repro.languages.engine import MembershipSession
+from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
+
+
+class SeedRejected(ValueError):
+    """A seed input was rejected by the oracle (the paper requires
+    E_in ⊆ L*). Carries the seed's provenance for diagnosable failures
+    in ``--seed-dir`` runs."""
+
+    def __init__(self, seed: str, source: str = ""):
+        self.seed = seed
+        self.source = source
+        message = "seed input rejected by the oracle: {!r}".format(seed)
+        if source:
+            message += " (seed {})".format(source)
+        super().__init__(message)
+
+
+class LearningPipeline:
+    """Run GLADE as an explicit stage sequence with durable checkpoints.
+
+    ``store`` decides checkpoint durability; the default
+    :class:`~repro.artifacts.store.NullCheckpointStore` persists
+    nothing, which is the zero-overhead path
+    :func:`~repro.core.glade.learn_grammar` uses. ``oracle_spec`` is an
+    optional JSON-compatible description of how to reconstruct the
+    oracle (the CLI stores its subprocess command here so ``repro
+    resume`` needs no flags).
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        config: Optional[GladeConfig] = None,
+        store: Optional[CheckpointStore] = None,
+        oracle_spec: Optional[Dict[str, Any]] = None,
+    ):
+        self.oracle = oracle
+        self.config = config if config is not None else GladeConfig()
+        self.store = store if store is not None else NullCheckpointStore()
+        self.oracle_spec = oracle_spec
+
+    def run(
+        self,
+        seeds: Sequence[str],
+        sources: Optional[Sequence[str]] = None,
+    ) -> RunArtifact:
+        """Learn from scratch; returns the completed artifact.
+
+        ``sources`` optionally labels each seed's provenance (file
+        path, ``file:line``, ...) for error messages and the artifact.
+        """
+        if not seeds:
+            raise ValueError("learning requires at least one seed input")
+        if sources is not None and len(sources) != len(seeds):
+            raise ValueError("sources must parallel seeds")
+        records = [
+            SeedRecord(
+                text=seed,
+                source=sources[index] if sources is not None else "",
+            )
+            for index, seed in enumerate(seeds)
+        ]
+        artifact = RunArtifact(
+            seeds=records,
+            config=self.config,
+            oracle_spec=self.oracle_spec,
+        )
+        return self._execute(artifact)
+
+    def resume(self, artifact: RunArtifact) -> RunArtifact:
+        """Continue an interrupted run from its last checkpoint.
+
+        Completed work is rehydrated, not redone: finished seeds'
+        regexes re-enter the membership session without oracle queries,
+        and stages the artifact already records are skipped outright. A
+        complete artifact is returned unchanged (zero queries).
+        """
+        if artifact.status == "complete":
+            return artifact
+        return self._execute(artifact)
+
+    # -- internals --------------------------------------------------------
+
+    def _execute(self, artifact: RunArtifact) -> RunArtifact:
+        config = artifact.config
+        # Counter around cache: ``oracle_queries`` counts every query
+        # including cache hits (the paper's metric); see core/glade.py.
+        cached = CachingOracle(self.oracle)
+        counting = CountingOracle(cached)
+        session = MembershipSession(use_engine=config.use_engine)
+        # Rehydrate: learned regexes re-enter the session (recompiling
+        # their NFAs costs no oracle queries).
+        for result in artifact.phase1_results:
+            session.remember(result.root.to_regex())
+        base_queries = artifact.oracle_queries
+        base_unique = artifact.unique_queries
+
+        def checkpoint() -> None:
+            artifact.oracle_queries = base_queries + counting.queries
+            artifact.unique_queries = base_unique + cached.unique_queries
+            self.store.save(artifact)
+
+        def add_timing(stage: str, started: float) -> None:
+            elapsed = time.perf_counter() - started
+            artifact.timings[stage] = artifact.timings.get(stage, 0.0) + elapsed
+
+        if not artifact.stage_done("validate"):
+            started = time.perf_counter()
+            for record in artifact.seeds:
+                if record.state != SEED_PENDING:
+                    continue
+                if not counting(record.text):
+                    raise SeedRejected(record.text, record.source)
+                record.state = SEED_VALIDATED
+            artifact.stage = "validate"
+            add_timing("validate", started)
+            checkpoint()
+
+        if not artifact.stage_done("phase1"):
+            for record in artifact.seeds:
+                if record.state != SEED_VALIDATED:
+                    continue
+                started = time.perf_counter()
+                queries_before = counting.queries
+                if config.skip_covered_seeds and session.covers(record.text):
+                    record.state = SEED_SKIPPED
+                else:
+                    result = synthesize_regex(
+                        record.text,
+                        counting,
+                        record_trace=config.record_trace,
+                        session=session,
+                    )
+                    if config.enable_chargen:
+                        generalize_characters(
+                            result.root, counting, config.alphabet
+                        )
+                    artifact.phase1_results.append(result)
+                    session.remember(result.root.to_regex())
+                    record.state = SEED_USED
+                record.queries = counting.queries - queries_before
+                add_timing("phase1", started)
+                checkpoint()
+            artifact.stage = "phase1"
+            checkpoint()
+
+        trees = artifact.trees()
+
+        if not artifact.stage_done("translate"):
+            started = time.perf_counter()
+            artifact.grammar = translate_trees(trees)
+            artifact.stage = "translate"
+            add_timing("translate", started)
+            checkpoint()
+
+        if not artifact.stage_done("phase2"):
+            started = time.perf_counter()
+            if config.enable_phase2:
+                stars = [star for tree in trees for star in stars_of(tree)]
+                artifact.phase2_result = merge_repetitions(
+                    artifact.grammar,
+                    stars,
+                    counting,
+                    record_trace=config.record_trace,
+                    mixed_checks=config.mixed_merge_checks,
+                )
+                artifact.grammar = artifact.phase2_result.grammar
+            artifact.stage = "phase2"
+            add_timing("phase2", started)
+            checkpoint()
+
+        if not artifact.stage_done("finalize"):
+            started = time.perf_counter()
+            artifact.grammar = artifact.grammar.restricted_to_reachable()
+            artifact.stage = "finalize"
+            artifact.status = "complete"
+            add_timing("finalize", started)
+            checkpoint()
+
+        return artifact

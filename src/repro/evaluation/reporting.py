@@ -4,6 +4,11 @@ Every figure generator prints its results through these helpers so the
 benchmark output reads like the paper's tables: one row per
 (program, algorithm) cell, aligned columns, and simple ASCII series for
 the line plots (Figures 4c and 7c).
+
+:func:`summarize_artifact` renders a persisted learning-run artifact
+(`repro show`): evaluation consumes the durable artifact rather than an
+in-memory learning result, so reports can be produced long after — and
+on a different machine than — the learning run.
 """
 
 from __future__ import annotations
@@ -52,3 +57,72 @@ def _format_cell(cell: Cell) -> str:
     if isinstance(cell, float):
         return "{:.3f}".format(cell)
     return str(cell)
+
+
+def _elide(text: str, width: int = 60) -> str:
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def summarize_artifact(artifact) -> str:
+    """Render a :class:`~repro.artifacts.run.RunArtifact` as a report.
+
+    Works on in-progress artifacts too (`repro show` on a checkpoint of
+    a killed run reports how far it got).
+    """
+    from repro.artifacts.run import STAGES
+
+    lines = [
+        "status: {} (last completed stage: {})".format(
+            artifact.status, artifact.stage
+        ),
+        "schema version: {}".format(artifact.schema_version),
+        "oracle queries: {} ({} unique), {:.1f}s total".format(
+            artifact.oracle_queries,
+            artifact.unique_queries,
+            artifact.duration_seconds(),
+        ),
+    ]
+    if artifact.oracle_spec is not None:
+        lines.append(
+            "oracle command: {}".format(
+                " ".join(artifact.oracle_spec.get("command", []))
+            )
+        )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["seed", "source", "state", "queries"],
+            [
+                [_elide(repr(s.text), 32), s.source or "-", s.state, s.queries]
+                for s in artifact.seeds
+            ],
+        )
+    )
+    timed = [
+        [stage, artifact.timings[stage]]
+        for stage in STAGES
+        if stage in artifact.timings
+    ]
+    if timed:
+        lines.append("")
+        lines.append(format_table(["stage", "seconds"], timed))
+    lines.append("")
+    for index, regex in enumerate(artifact.regexes()):
+        lines.append(
+            "phase-one regex [{}]: {}".format(index, _elide(str(regex)))
+        )
+    if artifact.phase2_result is not None:
+        merged = artifact.phase2_result.merged_pairs()
+        lines.append("phase-two merges: {}".format(len(merged)))
+    if artifact.grammar is not None:
+        lines.append(
+            "grammar: {} nonterminals, {} productions".format(
+                len(artifact.grammar.nonterminals()),
+                len(artifact.grammar.productions),
+            )
+        )
+        lines.append("")
+        lines.append(str(artifact.grammar))
+    else:
+        lines.append("grammar: not yet translated")
+    return "\n".join(lines)

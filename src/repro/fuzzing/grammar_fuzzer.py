@@ -11,12 +11,17 @@ input is produced by:
    α' ~ P_{L(Ĉ,A)}, and splices it in place of N's subtree.
 
 This matches the "standard techniques [28]" fuzzer the paper builds.
+§7 evaluates GLADE by handing *learned grammars* to fuzzers, so the
+fuzzer also loads persisted run artifacts directly
+(:meth:`GrammarFuzzer.from_artifact`) — fuzzing is decoupled from the
+learning run that produced the grammar.
 """
 
 from __future__ import annotations
 
+import os
 import random
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.languages.cfg import Grammar, ParseTree
 from repro.languages.earley import parse
@@ -54,6 +59,28 @@ class GrammarFuzzer:
                 self.seed_trees.append(tree)
         if not self.seed_trees:
             raise ValueError("no seed parses under the given grammar")
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: Union[str, os.PathLike, "RunArtifact"],
+        rng: Optional[random.Random] = None,
+        **kwargs,
+    ) -> "GrammarFuzzer":
+        """Build a fuzzer from a persisted run artifact (or its path).
+
+        The artifact's learned grammar and its retained seeds (used and
+        §6.1-skipped — both lie in the learned language) become the
+        fuzzer's inputs, so ``learn --out run.json`` once and fuzz from
+        ``run.json`` forever after.
+        """
+        from repro.artifacts import RunArtifact, load_artifact
+
+        if not isinstance(artifact, RunArtifact):
+            artifact = load_artifact(artifact)
+        grammar = artifact.require_grammar()
+        seeds = artifact.seeds_used() + artifact.seeds_skipped()
+        return cls(grammar, seeds, rng=rng, **kwargs)
 
     def generate_one(self) -> str:
         """Generate a single fuzzed input."""

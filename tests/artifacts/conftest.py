@@ -1,0 +1,21 @@
+"""Artifact-test fixtures.
+
+The quality-floor tests elsewhere in the suite are sensitive to the
+global star-id counter (phase-2 residual sampling is seeded by star
+ids, see the gotcha in `.claude/skills/verify/SKILL.md`). Tests here
+create stars — via learning runs and tree deserialization (which also
+*reserves* ids) — so each one restores the counter afterwards, keeping
+the rest of the suite's counter trajectory exactly what it was before
+this directory existed.
+"""
+
+import pytest
+
+from repro.core import gtree
+
+
+@pytest.fixture(autouse=True)
+def preserve_star_counter():
+    saved = gtree._star_counter.next_id
+    yield
+    gtree._star_counter.next_id = saved

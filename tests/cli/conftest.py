@@ -1,0 +1,18 @@
+"""CLI-test fixtures.
+
+CLI tests mostly exercise subprocesses, but a few construct artifacts
+in-process; restore the global star-id counter around each test so the
+counter-sensitive quality-floor tests later in the suite see an
+unchanged trajectory (see tests/artifacts/conftest.py).
+"""
+
+import pytest
+
+from repro.core import gtree
+
+
+@pytest.fixture(autouse=True)
+def preserve_star_counter():
+    saved = gtree._star_counter.next_id
+    yield
+    gtree._star_counter.next_id = saved

@@ -1,0 +1,239 @@
+"""The staged learning pipeline: checkpoints, resume, determinism.
+
+The acceptance-criterion tests live here: a resumed run produces a
+byte-identical grammar to an uninterrupted run, re-issues no oracle
+queries for already-checkpointed seeds, and accumulates the same total
+query count. Interruption is simulated by deserializing a mid-run
+checkpoint from a :class:`MemoryCheckpointStore` — every snapshot went
+through the full JSON encoding, exactly like a crash-and-reload.
+"""
+
+import pytest
+
+from repro.artifacts import (
+    MemoryCheckpointStore,
+    RunArtifact,
+    SEED_SKIPPED,
+    SEED_USED,
+    SEED_VALIDATED,
+)
+from repro.core import gtree
+from repro.core.glade import GladeConfig, learn_grammar
+from repro.core.pipeline import LearningPipeline, SeedRejected
+
+from tests.core.helpers import XML_ALPHABET, xml_like_oracle
+
+SEEDS = ["<a>ab</a>", "xy", "<a><a>q</a></a>"]
+
+
+@pytest.fixture(autouse=True)
+def preserve_star_counter():
+    """Restore the global star-id counter after every test here.
+
+    Pipeline tests learn repeatedly (and reset the counter, below);
+    restoring the pre-test value keeps the suite's counter trajectory —
+    which the quality-floor tests are sensitive to via star-id-seeded
+    phase-2 residual sampling — exactly what it was before this module
+    existed.
+    """
+    saved = gtree._star_counter.next_id
+    yield
+    gtree._star_counter.next_id = saved
+
+
+@pytest.fixture
+def fresh_star_ids():
+    """Reset the global star-id counter to zero (callable, reusable).
+
+    Byte-identical grammar comparisons need both runs to number their
+    stars from the same origin; within one process that requires
+    resetting the (otherwise monotone) counter.
+    """
+
+    def reset():
+        gtree._star_counter.next_id = 0
+
+    return reset
+
+
+class CountingBase:
+    """Counts raw oracle invocations (below any cache)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+
+    def __call__(self, text):
+        self.calls += 1
+        return self.fn(text)
+
+
+def run_uninterrupted(fresh_star_ids, config):
+    fresh_star_ids()
+    store = MemoryCheckpointStore()
+    oracle = CountingBase(xml_like_oracle)
+    artifact = LearningPipeline(oracle, config=config, store=store).run(SEEDS)
+    return artifact, store, oracle
+
+
+def test_pipeline_matches_learn_grammar(fresh_star_ids):
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    fresh_star_ids()
+    direct = learn_grammar(SEEDS, xml_like_oracle, config)
+    fresh_star_ids()
+    artifact = LearningPipeline(xml_like_oracle, config=config).run(SEEDS)
+    result = artifact.to_glade_result()
+    assert str(result.grammar) == str(direct.grammar)
+    assert result.oracle_queries == direct.oracle_queries
+    assert result.unique_queries == direct.unique_queries
+    assert result.seeds_used == direct.seeds_used
+    assert result.seeds_skipped == direct.seeds_skipped
+
+
+def test_pipeline_checkpoints_every_stage_and_seed(fresh_star_ids):
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    artifact, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    stages = [snap.stage for snap in map(store.snapshot, range(len(store.snapshots)))]
+    # validate, one per seed, phase1, translate, phase2, finalize.
+    assert stages[0] == "validate"
+    assert stages.count("validate") == 1 + len(SEEDS)  # per-seed saves
+    for name in ("phase1", "translate", "phase2", "finalize"):
+        assert name in stages
+    assert artifact.status == "complete"
+    assert artifact.stage == "finalize"
+    assert set(artifact.timings) == {
+        "validate", "phase1", "translate", "phase2", "finalize",
+    }
+
+
+def find_snapshot(store, n_results):
+    """The first checkpoint with exactly ``n_results`` seeds finished."""
+    for index in range(len(store.snapshots)):
+        snap = store.snapshot(index)
+        done = sum(1 for s in snap.seeds if s.state in (SEED_USED, SEED_SKIPPED))
+        if done == n_results and any(
+            s.state == SEED_VALIDATED for s in snap.seeds
+        ):
+            return index
+    raise AssertionError("no mid-phase1 snapshot found")
+
+
+@pytest.mark.parametrize("n_done", [1, 2])
+def test_resume_mid_phase1_is_byte_identical(fresh_star_ids, n_done):
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+
+    index = find_snapshot(store, n_done)
+    base = store.snapshot(index)
+    base_queries = base.oracle_queries
+
+    fresh_star_ids()
+    resumed_oracle = CountingBase(xml_like_oracle)
+    resumed = LearningPipeline(resumed_oracle, config=config).resume(
+        store.snapshot(index)
+    )
+
+    # Byte-identical grammar and regexes.
+    assert str(resumed.grammar) == str(full.grammar)
+    assert [str(r) for r in resumed.regexes()] == [
+        str(r) for r in full.regexes()
+    ]
+    # Accumulated totals equal the uninterrupted run's.
+    assert resumed.oracle_queries == full.oracle_queries
+    # The resumed process issued only the post-checkpoint queries: no
+    # query was re-issued for already-checkpointed seeds.
+    assert resumed.oracle_queries - base_queries <= full.oracle_queries
+    assert resumed_oracle.calls <= full.oracle_queries - base_queries
+    # Seed bookkeeping survives.
+    assert resumed.seeds_used() == full.seeds_used()
+    assert resumed.seeds_skipped() == full.seeds_skipped()
+
+
+def test_resume_after_translate_reissues_no_phase1_queries(fresh_star_ids):
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    for index in range(len(store.snapshots)):
+        snap = store.snapshot(index)
+        if snap.stage == "translate":
+            break
+    assert snap.grammar is not None
+
+    fresh_star_ids()
+    oracle = CountingBase(xml_like_oracle)
+    resumed = LearningPipeline(oracle, config=config).resume(snap)
+    assert str(resumed.grammar) == str(full.grammar)
+    # Only phase-2 checks run on resume; phase 1 is rehydrated.
+    assert resumed.oracle_queries == full.oracle_queries
+
+
+def test_resume_complete_artifact_is_noop(fresh_star_ids):
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    oracle = CountingBase(xml_like_oracle)
+    resumed = LearningPipeline(oracle, config=config).resume(
+        store.snapshot(-1)
+    )
+    assert oracle.calls == 0
+    assert str(resumed.grammar) == str(full.grammar)
+
+
+def test_skipped_seed_state_checkpointed(fresh_star_ids):
+    config = GladeConfig(alphabet="ab", enable_chargen=False)
+    fresh_star_ids()
+    artifact = LearningPipeline(
+        lambda s: set(s) <= set("ab"), config=config
+    ).run(["ab", "abab"])  # "abab" is covered by the first seed's regex
+    states = [s.state for s in artifact.seeds]
+    assert states == [SEED_USED, SEED_SKIPPED]
+    assert artifact.seeds_skipped() == ["abab"]
+    # A skipped seed costs zero learning queries.
+    assert artifact.seeds[1].queries == 0
+
+
+def test_seed_rejection_carries_provenance():
+    with pytest.raises(SeedRejected, match=r"corpus/bad\.xml"):
+        LearningPipeline(xml_like_oracle).run(
+            ["<a>hi</a>", "<a>broken"],
+            sources=["corpus/good.xml", "corpus/bad.xml"],
+        )
+    # Without sources the message matches the historical wording.
+    with pytest.raises(ValueError, match="rejected by the oracle"):
+        LearningPipeline(xml_like_oracle).run(["<a>broken"])
+
+
+def test_rejection_happens_before_any_learning():
+    class Oracle:
+        def __init__(self):
+            self.calls = []
+
+        def __call__(self, text):
+            self.calls.append(text)
+            return xml_like_oracle(text)
+
+    oracle = Oracle()
+    with pytest.raises(SeedRejected):
+        LearningPipeline(oracle).run(["<a>hi</a>", "<a>broken"])
+    # Upfront validation: only the seeds themselves were queried.
+    assert oracle.calls == ["<a>hi</a>", "<a>broken"]
+
+
+def test_empty_seed_list_rejected():
+    with pytest.raises(ValueError, match="at least one seed"):
+        LearningPipeline(xml_like_oracle).run([])
+    with pytest.raises(ValueError, match="sources must parallel seeds"):
+        LearningPipeline(xml_like_oracle).run(["a"], sources=["x", "y"])
+
+
+def test_run_artifact_roundtrips_through_store(fresh_star_ids):
+    config = GladeConfig(alphabet=XML_ALPHABET, record_trace=True)
+    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    restored = store.snapshot(-1)
+    assert isinstance(restored, RunArtifact)
+    assert str(restored.grammar) == str(full.grammar)
+    assert restored.config == full.config
+    assert restored.timings == pytest.approx(full.timings)
+    result = restored.to_glade_result()
+    assert result.oracle_queries == full.oracle_queries
+    assert [str(t.to_regex()) for t in result.trees] == [
+        str(t.to_regex()) for t in full.trees()
+    ]

@@ -1,5 +1,7 @@
 """Tests for the table/series formatters."""
 
+import pytest
+
 from repro.evaluation.reporting import format_series, format_table
 
 
@@ -27,3 +29,59 @@ def test_series_layout():
     assert lines[0] == "title"
     assert "0.600" in rendered
     assert "0.800" in rendered
+
+
+class TestSummarizeArtifact:
+    """`repro show`: reports are produced from the persisted artifact."""
+
+    @pytest.fixture(autouse=True)
+    def preserve_star_counter(self):
+        # Learning runs here consume global star ids; restore the
+        # counter so later counter-sensitive tests are unaffected.
+        from repro.core import gtree
+
+        saved = gtree._star_counter.next_id
+        yield
+        gtree._star_counter.next_id = saved
+
+    def make_artifact(self):
+        from repro.core.glade import GladeConfig
+        from repro.core.pipeline import LearningPipeline
+
+        config = GladeConfig(alphabet="ab", enable_chargen=False)
+        return LearningPipeline(
+            lambda s: set(s) <= set("ab"), config=config
+        ).run(["ab", "ba"], sources=["corpus/a.txt", "corpus/b.txt"])
+
+    def test_complete_artifact_summary(self):
+        from repro.evaluation.reporting import summarize_artifact
+
+        artifact = self.make_artifact()
+        rendered = summarize_artifact(artifact)
+        assert "status: complete" in rendered
+        assert "corpus/a.txt" in rendered
+        assert "phase-one regex [0]" in rendered
+        assert str(artifact.grammar) in rendered
+        assert "oracle queries: {}".format(artifact.oracle_queries) in rendered
+
+    def test_in_progress_artifact_summary(self):
+        from repro.artifacts import RunArtifact, SeedRecord
+        from repro.evaluation.reporting import summarize_artifact
+
+        artifact = RunArtifact(seeds=[SeedRecord(text="ab", source="s:1")])
+        rendered = summarize_artifact(artifact)
+        assert "status: in_progress" in rendered
+        assert "grammar: not yet translated" in rendered
+        assert "pending" in rendered
+
+    def test_summary_survives_serialization(self):
+        import json
+
+        from repro.artifacts import RunArtifact
+        from repro.evaluation.reporting import summarize_artifact
+
+        artifact = self.make_artifact()
+        restored = RunArtifact.from_dict(
+            json.loads(json.dumps(artifact.to_dict()))
+        )
+        assert summarize_artifact(restored) == summarize_artifact(artifact)

@@ -69,3 +69,59 @@ class TestGeneration:
         stream = iter(fuzzer)
         values = [next(stream) for _ in range(5)]
         assert len(values) == 5
+
+
+class TestFromArtifact:
+    """§7: fuzzing consumes the persisted learning artifact directly."""
+
+    @pytest.fixture(autouse=True)
+    def preserve_star_counter(self):
+        # Learning runs here consume global star ids; restore the
+        # counter so later counter-sensitive tests are unaffected.
+        from repro.core import gtree
+
+        saved = gtree._star_counter.next_id
+        yield
+        gtree._star_counter.next_id = saved
+
+    def make_artifact(self, tmp_path):
+        from repro.artifacts import MemoryCheckpointStore, save_artifact
+        from repro.core.glade import GladeConfig
+        from repro.core.pipeline import LearningPipeline
+
+        config = GladeConfig(alphabet="ab", enable_chargen=False)
+        artifact = LearningPipeline(
+            lambda s: set(s) <= set("ab"), config=config
+        ).run(["ab", "abab", "ba"])
+        path = tmp_path / "run.json"
+        save_artifact(artifact, path)
+        return artifact, path
+
+    def test_from_artifact_object_and_path(self, tmp_path):
+        artifact, path = self.make_artifact(tmp_path)
+        for source in (artifact, path, str(path)):
+            fuzzer = GrammarFuzzer.from_artifact(
+                source, rng=random.Random(3)
+            )
+            for text in fuzzer.generate(20):
+                assert recognize(artifact.grammar, text)
+
+    def test_from_artifact_includes_skipped_seeds(self, tmp_path):
+        artifact, _path = self.make_artifact(tmp_path)
+        assert artifact.seeds_skipped()  # "abab" is covered by "ab"
+        fuzzer = GrammarFuzzer.from_artifact(artifact)
+        expected = len(artifact.seeds_used()) + len(artifact.seeds_skipped())
+        assert len(fuzzer.seed_trees) + len(fuzzer.unparsed_seeds) == expected
+
+    def test_from_artifact_requires_grammar(self):
+        from repro.artifacts import ArtifactError, RunArtifact, SeedRecord
+
+        incomplete = RunArtifact(seeds=[SeedRecord(text="ab")])
+        with pytest.raises(ArtifactError, match="no grammar"):
+            GrammarFuzzer.from_artifact(incomplete)
+
+    def test_from_artifact_deterministic_under_seeded_rng(self, tmp_path):
+        _artifact, path = self.make_artifact(tmp_path)
+        first = GrammarFuzzer.from_artifact(path, rng=random.Random(9))
+        second = GrammarFuzzer.from_artifact(path, rng=random.Random(9))
+        assert first.generate(10) == second.generate(10)
