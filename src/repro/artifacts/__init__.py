@@ -11,6 +11,7 @@ interrupted multi-hour oracle run resume where it left off.
 """
 
 from repro.artifacts.run import (
+    SEED_LEARNED,
     SEED_PENDING,
     SEED_SKIPPED,
     SEED_USED,
@@ -50,6 +51,7 @@ __all__ = [
     "NullCheckpointStore",
     "RunArtifact",
     "SCHEMA_VERSION",
+    "SEED_LEARNED",
     "SEED_PENDING",
     "SEED_SKIPPED",
     "SEED_USED",

@@ -46,7 +46,8 @@ STAGES = ("validate", "phase1", "translate", "phase2", "finalize")
 #: Seed lifecycle states.
 SEED_PENDING = "pending"  # not yet validated against the oracle
 SEED_VALIDATED = "validated"  # accepted by the oracle, not yet learned
-SEED_USED = "used"  # phase 1 + chargen completed
+SEED_LEARNED = "learned"  # phase 1 done on a worker; §6.1 filter pending
+SEED_USED = "used"  # phase 1 + chargen completed, kept
 SEED_SKIPPED = "skipped"  # covered by an earlier seed's regex (§6.1)
 
 
@@ -58,13 +59,15 @@ class SeedRecord:
     ``--seed[0]``, a file path, ...) so oracle rejections in large
     ``--seed-dir`` runs are diagnosable. ``queries`` counts the oracle
     queries spent learning this seed (phase 1 + chargen), recorded when
-    the seed's checkpoint is written.
+    the seed's checkpoint is written; ``seconds`` is the seed's worker
+    wall-clock for the same work.
     """
 
     text: str
     source: str = ""
     state: str = SEED_PENDING
     queries: int = 0
+    seconds: float = 0.0
 
 
 @dataclass
@@ -84,6 +87,15 @@ class RunArtifact:
     phase2_result: Optional[Phase2Result] = None
     oracle_queries: int = 0
     unique_queries: int = 0
+    #: Oracle queries spent on speculative phase-1 work that the §6.1
+    #: covered-seed filter later discarded (parallel runs learn every
+    #: validated seed concurrently; a sequential run would have skipped
+    #: covered ones). Excluded from ``oracle_queries`` so reported
+    #: metrics match a serial run exactly.
+    speculative_queries: int = 0
+    #: Resolved execution backend + worker count of the (last) phase-1
+    #: run, e.g. ``{"backend": "process", "jobs": 4}``.
+    execution: Dict[str, Any] = field(default_factory=dict)
     #: Per-stage wall-clock seconds, accumulated across resumes.
     timings: Dict[str, float] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -97,7 +109,11 @@ class RunArtifact:
         return STAGES.index(self.stage) >= STAGES.index(stage)
 
     def trees(self):
-        return [result.root for result in self.phase1_results]
+        """Kept trees in seed order (results may arrive out of order
+        under parallel execution; the sort is stable for ad-hoc results
+        without a ``seed_index``)."""
+        ordered = sorted(self.phase1_results, key=lambda r: r.seed_index)
+        return [result.root for result in ordered]
 
     def regexes(self):
         return [root.to_regex() for root in self.trees()]
@@ -163,6 +179,8 @@ class RunArtifact:
             ),
             "oracle_queries": self.oracle_queries,
             "unique_queries": self.unique_queries,
+            "speculative_queries": self.speculative_queries,
+            "execution": dict(self.execution),
             "timings": dict(self.timings),
         }
 
@@ -175,6 +193,13 @@ class RunArtifact:
                 )
             )
         version = data.get("schema_version")
+        if version == 1:
+            # v1 artifacts upgrade in place: the only structural gap is
+            # that phase-1 results carry no seed_index. v1 runs were
+            # strictly sequential, so results parallel the "used"
+            # seeds in order.
+            data = _upgrade_v1(data)
+            version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ArtifactError(
                 "artifact schema version {!r} is not supported by this "
@@ -209,6 +234,8 @@ class RunArtifact:
                 ),
                 oracle_queries=data["oracle_queries"],
                 unique_queries=data["unique_queries"],
+                speculative_queries=data.get("speculative_queries", 0),
+                execution=dict(data.get("execution") or {}),
                 timings=dict(data["timings"]),
                 schema_version=version,
             )
@@ -216,6 +243,37 @@ class RunArtifact:
             raise ArtifactError(
                 "malformed run artifact: {!r}".format(exc)
             )
+
+
+def _upgrade_v1(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Upgrade a schema-v1 artifact dict to the current encoding.
+
+    Checkpoints are the one thing the artifact subsystem exists to
+    preserve, so a schema bump must not strand in-progress v1 runs.
+    Input is not mutated; the added fields (``speculative_queries``,
+    ``execution``, per-seed ``seconds``) fall back to the loader's
+    defaults."""
+    upgraded = dict(data)
+    try:
+        seeds = data["seeds"]
+        results = data["phase1_results"]
+    except KeyError as exc:
+        raise ArtifactError("malformed run artifact: {!r}".format(exc))
+    used = [
+        index for index, seed in enumerate(seeds)
+        if isinstance(seed, dict) and seed.get("state") == SEED_USED
+    ]
+    if len(used) != len(results):
+        raise ArtifactError(
+            "v1 artifact has {} phase-1 results for {} used seeds; "
+            "cannot upgrade".format(len(results), len(used))
+        )
+    upgraded["schema_version"] = SCHEMA_VERSION
+    upgraded["phase1_results"] = [
+        dict(result, seed_index=seed_index)
+        for seed_index, result in zip(used, results)
+    ]
+    return upgraded
 
 
 def save_artifact(

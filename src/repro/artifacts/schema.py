@@ -30,6 +30,7 @@ from typing import Any, Dict, List
 
 from repro.core.context import Context
 from repro.core.gtree import (
+    AD_HOC_STAR_BASE,
     GAlt,
     GConcat,
     GConst,
@@ -38,7 +39,7 @@ from repro.core.gtree import (
     GRoot,
     GStar,
     HoleKind,
-    reserve_star_ids,
+    reserve_ad_hoc_star_ids,
 )
 from repro.core.phase1 import Phase1Result, StepRecord
 from repro.core.phase2 import MergeRecord, Phase2Result
@@ -52,7 +53,11 @@ from repro.languages.cfg import (
 )
 
 #: Version of the artifact encoding; see the module docstring.
-SCHEMA_VERSION = 1
+#: v2: per-seed ``seed_index`` on phase-1 results, run-level
+#: ``execution`` (backend + worker count) and ``speculative_queries``
+#: fields, the ``learned`` provisional seed state, and ``jobs`` /
+#: ``backend`` in the config.
+SCHEMA_VERSION = 2
 
 
 class ArtifactError(ValueError):
@@ -168,9 +173,13 @@ def gtree_to_dict(node: GNode) -> Dict[str, Any]:
 def gtree_from_dict(data: Dict[str, Any]) -> GNode:
     """Decode a generalization tree; inverse of :func:`gtree_to_dict`.
 
-    Restored ``star_id`` values are reserved with
-    :func:`repro.core.gtree.reserve_star_ids` so stars created later in
-    the process never collide with (or diverge from) the restored ids.
+    Restored stars keep their serialized ``star_id`` verbatim.
+    Pipeline-learned ids need no reservation — they come from disjoint
+    per-seed blocks (:func:`repro.core.gtree.seed_block_allocator`), so
+    a resumed run's freshly learned seeds can never collide with
+    restored ones. Restored *ad-hoc* ids (default-allocator block) do
+    reserve, so mixing a restored ad-hoc tree with stars created ad hoc
+    afterwards stays collision-free too.
     """
     tag = _tag(data, "tree")
     if tag == "root":
@@ -189,7 +198,8 @@ def gtree_from_dict(data: Dict[str, Any]) -> GNode:
             context=context_from_list(data["context"]),
             star_id=data["star_id"],
         )
-        reserve_star_ids(star.star_id + 1)
+        if star.star_id >= AD_HOC_STAR_BASE:
+            reserve_ad_hoc_star_ids(star.star_id + 1)
         return star
     if tag == "alt":
         return GAlt([gtree_from_dict(c) for c in data["children"]])
@@ -288,6 +298,7 @@ def _step_record_from_dict(data: Dict[str, Any]) -> StepRecord:
 def phase1_result_to_dict(result: Phase1Result) -> Dict[str, Any]:
     """Encode a per-seed phase-one result (tree plus optional trace)."""
     return {
+        "seed_index": result.seed_index,
         "root": gtree_to_dict(result.root),
         "trace": [_step_record_to_dict(r) for r in result.trace],
     }
@@ -300,6 +311,7 @@ def phase1_result_from_dict(data: Dict[str, Any]) -> Phase1Result:
     return Phase1Result(
         root=root,
         trace=[_step_record_from_dict(r) for r in data["trace"]],
+        seed_index=data.get("seed_index", -1),
     )
 
 

@@ -106,6 +106,13 @@ def _add_sampling_options(parser, default_count: int) -> None:
 def _cmd_learn(args, parser) -> int:
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.backend == "serial" and args.jobs > 1:
+        parser.error(
+            "--backend serial is single-worker; drop --jobs or pick "
+            "thread/process (or auto)"
+        )
     pairs = _load_seeds(args)
     if not pairs:
         parser.error("no seeds given (use --seed/--seed-file/--seed-dir)")
@@ -123,6 +130,8 @@ def _cmd_learn(args, parser) -> int:
         alphabet=args.alphabet,
         enable_phase2=not args.no_phase2,
         enable_chargen=not args.no_chargen,
+        jobs=args.jobs,
+        backend=args.backend,
     )
     store = None
     if args.out:
@@ -171,6 +180,17 @@ def _cmd_resume(args, parser) -> int:
         spec["max_workers"] = args.workers
     if args.timeout is not None:
         spec["timeout_seconds"] = args.timeout
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be at least 1")
+        artifact.config.jobs = args.jobs
+    if args.backend is not None:
+        artifact.config.backend = args.backend
+    if artifact.config.backend == "serial" and artifact.config.jobs > 1:
+        parser.error(
+            "--backend serial is single-worker; use --jobs 1 or pick "
+            "thread/process (or auto)"
+        )
     oracle = _oracle_from_spec(spec)
     pipeline = LearningPipeline(
         oracle,
@@ -254,6 +274,19 @@ def main(argv=None) -> int:
         "the default 1 keeps the paper's short-circuit query counts, "
         "higher values trade extra queries for wall-clock",
     )
+    learn.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers for seed-sharded phase 1; the learned "
+        "grammar is byte-identical at any job count (jobs > 1 trades "
+        "speculative oracle work for wall-clock on multi-seed runs)",
+    )
+    learn.add_argument(
+        "--backend", default="auto",
+        choices=["auto", "serial", "thread", "process"],
+        help="execution backend for --jobs (default auto: serial for "
+        "one job, else process when the oracle is picklable, thread "
+        "otherwise)",
+    )
     learn.set_defaults(handler=_cmd_learn)
 
     resume = sub.add_parser(
@@ -267,6 +300,16 @@ def main(argv=None) -> int:
     resume.add_argument(
         "--timeout", type=float, default=None,
         help="override the artifact's per-query timeout",
+    )
+    resume.add_argument(
+        "--jobs", type=int, default=None,
+        help="override the artifact's phase-1 worker count (safe: the "
+        "grammar is byte-identical at any job count)",
+    )
+    resume.add_argument(
+        "--backend", default=None,
+        choices=["auto", "serial", "thread", "process"],
+        help="override the artifact's execution backend",
     )
     _add_sampling_options(resume, default_count=0)
     resume.set_defaults(handler=_cmd_resume)

@@ -77,6 +77,15 @@ class GladeConfig:
     mixed_merge_checks: bool = True
     #: Incremental membership engine (fragment cache + match memo).
     use_engine: bool = True
+    #: Worker count for seed-sharded phase 1 (see :mod:`repro.exec`).
+    #: Learned grammars are byte-identical at any worker count; jobs > 1
+    #: trades speculative oracle work (seeds the §6.1 skip would have
+    #: avoided are learned anyway and discarded) for wall-clock.
+    jobs: int = 1
+    #: Execution backend: "auto", "serial", "thread", or "process".
+    #: "auto" picks serial for one job, else process when the oracle is
+    #: picklable and threads otherwise.
+    backend: str = "auto"
 
 
 @dataclass

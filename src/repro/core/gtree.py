@@ -24,9 +24,8 @@ to a CFG (§5.1).
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 from repro.core.context import Context
 from repro.languages import regex as rx
@@ -39,43 +38,73 @@ class HoleKind(enum.Enum):
     ALT = "alt"
 
 
-class _StarCounter:
-    """Monotone id source for :class:`GStar` nodes.
+#: Bits reserved per seed for star ids: seed ``i`` allocates ids from
+#: the half-open block ``[i << STAR_BLOCK_BITS, (i+1) << STAR_BLOCK_BITS)``.
+#: Blocks are disjoint by construction, so per-seed phase-1 work can run
+#: on any worker, in any order, and still produce the ids — and hence
+#: the grammar nonterminal names ``R<id>`` — of a sequential run.
+STAR_BLOCK_BITS = 20
 
-    Deserializing a checkpointed tree restores the original ``star_id``
-    values and *reserves* them (:func:`reserve_star_ids`), so stars
-    created after a resume continue exactly where the interrupted run
-    left off — grammar nonterminal names (``R<id>``) then match an
-    uninterrupted run byte for byte.
+
+class StarIdAllocator:
+    """Explicit, run-local id source for :class:`GStar` nodes.
+
+    Each unit of independent work (one seed's phase 1) owns its own
+    allocator over a disjoint id block, replacing the process-global
+    counter that made star ids — and everything derived from them —
+    depend on how much learning the process had already done. ``limit``
+    guards against a block overflowing into its neighbor's id space.
     """
 
-    def __init__(self):
-        self.next_id = 0
+    def __init__(self, base: int = 0, limit: Optional[int] = None):
+        self.next_id = base
+        self.limit = limit
 
     def take(self) -> int:
         value = self.next_id
+        if self.limit is not None and value >= self.limit:
+            raise OverflowError(
+                "star-id block exhausted at {} (limit {})".format(
+                    value, self.limit
+                )
+            )
         self.next_id += 1
         return value
 
-    def reserve(self, min_next: int) -> None:
-        if min_next > self.next_id:
-            self.next_id = min_next
+
+def seed_block_allocator(seed_index: int) -> StarIdAllocator:
+    """The allocator for seed ``seed_index``'s disjoint star-id block."""
+    if seed_index < 0:
+        raise ValueError("seed_index must be non-negative")
+    return StarIdAllocator(
+        base=seed_index << STAR_BLOCK_BITS,
+        limit=(seed_index + 1) << STAR_BLOCK_BITS,
+    )
 
 
-_star_counter = _StarCounter()
+#: Fallback for ad-hoc :class:`GStar` construction (tests, REPL,
+#: direct ``synthesize_regex`` calls) where no allocator is threaded
+#: through. It owns its own reserved block far above any realistic
+#: seed block, so ad-hoc stars can never collide with pipeline-learned
+#: ones even when trees from both worlds are translated or merged
+#: together. Nothing downstream depends on its trajectory — phase-2
+#: residual sampling is seeded run-locally (see
+#: :mod:`repro.core.phase2`) and pipeline runs always pass explicit
+#: per-seed allocators.
+AD_HOC_STAR_BASE = 1 << 48
+_DEFAULT_ALLOCATOR = StarIdAllocator(base=AD_HOC_STAR_BASE)
 
 
-def _next_star_id() -> int:
-    return _star_counter.take()
+def reserve_ad_hoc_star_ids(min_next: int) -> None:
+    """Keep future ad-hoc star ids at least ``min_next``.
 
-
-def reserve_star_ids(min_next: int) -> None:
-    """Ensure future ``star_id`` values are at least ``min_next``.
-
-    Called by artifact deserialization so restored star ids are never
-    reused by stars created later in a resumed run.
-    """
-    _star_counter.reserve(min_next)
+    Called by tree deserialization when a restored star's id falls in
+    the ad-hoc block: a tree built without an allocator in one process
+    and restored in another must not collide with stars the restoring
+    process creates ad hoc afterwards. Pipeline blocks are untouched —
+    their disjointness is positional, not reserved."""
+    if min_next > _DEFAULT_ALLOCATOR.next_id:
+        _DEFAULT_ALLOCATOR.next_id = min_next
 
 
 class GNode:
@@ -148,6 +177,11 @@ class GStar(GNode):
     they provide the residual (α₂α₂) and wrapping used by phase two's
     merge checks (§5.3). ``star_id`` identifies the star across the
     translated grammar for merging.
+
+    Ids come from, in order of precedence: an explicit ``star_id``
+    (deserialization restores stars verbatim), the caller's
+    ``allocator`` (phase one threads a per-seed block allocator through
+    every construction), or the module default allocator.
     """
 
     def __init__(
@@ -156,13 +190,14 @@ class GStar(GNode):
         rep_string: str,
         context: Context,
         star_id: Optional[int] = None,
+        allocator: Optional[StarIdAllocator] = None,
     ):
         self.children = [inner]
         self.rep_string = rep_string
         self.context = context
-        # An explicit ``star_id`` restores a deserialized star without
-        # consuming the counter (the caller reserves restored ids).
-        self.star_id = _next_star_id() if star_id is None else star_id
+        if star_id is None:
+            star_id = (allocator or _DEFAULT_ALLOCATOR).take()
+        self.star_id = star_id
 
     @property
     def inner(self) -> GNode:

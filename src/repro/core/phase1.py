@@ -47,6 +47,7 @@ from repro.core.gtree import (
     GStar,
     HoleKind,
     Slot,
+    StarIdAllocator,
 )
 from repro.languages.engine import MembershipSession
 from repro.learning.oracle import Oracle, query_all, supports_concurrency
@@ -66,10 +67,17 @@ class StepRecord:
 
 @dataclass
 class Phase1Result:
-    """Outcome of phase one on a single seed."""
+    """Outcome of phase one on a single seed.
+
+    ``seed_index`` is the seed's position in the run's seed list; under
+    parallel execution results arrive in completion order and are
+    merged back into seed order by this key (-1 for ad-hoc calls
+    outside a pipeline run).
+    """
 
     root: GRoot
     trace: List[StepRecord] = field(default_factory=list)
+    seed_index: int = -1
 
     def regex(self):
         return self.root.to_regex()
@@ -80,12 +88,17 @@ def synthesize_regex(
     oracle: Oracle,
     record_trace: bool = False,
     session: Optional[MembershipSession] = None,
+    allocator: Optional[StarIdAllocator] = None,
 ) -> Phase1Result:
     """Run phase one on one seed input, returning the generalization tree.
 
     ``session`` carries the incremental membership engine; callers that
     learn several seeds (or run character generalization afterwards)
     pass one session so NFA fragments are shared across the whole run.
+    ``allocator`` is the star-id source for every repetition this seed
+    introduces; sharded runs pass the seed's disjoint block allocator
+    (:func:`repro.core.gtree.seed_block_allocator`) so ids are
+    deterministic regardless of which worker learns the seed when.
     """
     if session is None:
         session = MembershipSession()
@@ -103,7 +116,9 @@ def synthesize_regex(
         # reuses fragments of unchanged subtrees and memoizes results.
         in_current = session.matcher(root.to_regex())
         if hole.kind is HoleKind.REP:
-            record = _generalize_rep(hole, slot, stack, oracle, in_current)
+            record = _generalize_rep(
+                hole, slot, stack, oracle, in_current, allocator
+            )
         else:
             record = _generalize_alt(hole, slot, stack, oracle, in_current)
         if record_trace:
@@ -163,6 +178,7 @@ def _generalize_rep(
     stack: List[Slot],
     oracle: Oracle,
     in_current,
+    allocator: Optional[StarIdAllocator] = None,
 ) -> StepRecord:
     """Generalize ``[α]_rep``: try repetition candidates, else constant."""
     alpha, context = hole.alpha, hole.context
@@ -179,6 +195,7 @@ def _generalize_rep(
             inner=GHole(HoleKind.ALT, a2, star_context),
             rep_string=a2,
             context=star_context,
+            allocator=allocator,
         )
         parts: List[GNode] = []
         if a1:

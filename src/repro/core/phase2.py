@@ -31,6 +31,7 @@ Definition 5.2 — e.g. turning the XML example's
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -112,7 +113,27 @@ def _boundary_string(node: rx.Regex, pick) -> str:
     raise TypeError("unknown regex node: {!r}".format(node))
 
 
-def _star_residuals(star: GStar, n_samples: int) -> List[str]:
+def residual_seed(star: GStar, run_index: int) -> int:
+    """The run-local PRNG seed for a star's residual samples.
+
+    Derived from the star's representative (repetition) string plus its
+    index within the run's merge order — never from the raw ``star_id``
+    or any process-global counter — so two runs of the same learning
+    problem sample identical residuals no matter how many stars the
+    process created before, which worker learned the seed, or at what
+    id offset the star's block starts. The hash is a truncated blake2b
+    (Python's builtin ``hash`` of strings is salted per process and
+    would break cross-process determinism).
+    """
+    digest = hashlib.blake2b(
+        star.rep_string.encode("utf-8", "surrogatepass"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") ^ (run_index * 7919 + 13)
+
+
+def _star_residuals(
+    star: GStar, n_samples: int, rng_seed: Optional[int] = None
+) -> List[str]:
     """Residual strings ρ ∈ L(R) for a repetition subexpression.
 
     §5.3 requires residuals from the *generalized* language L(R′) — the
@@ -120,8 +141,8 @@ def _star_residuals(star: GStar, n_samples: int) -> List[str]:
     character generalization may have widened R′ well beyond it (e.g. a
     comment-body star admits spaces that α₂ never showed). We therefore
     add the min/max boundary members of the current inner language plus
-    a few random samples (deterministically seeded by the star id), so
-    the checks see what the merge would actually inject.
+    a few random samples (seeded run-locally, see :func:`residual_seed`),
+    so the checks see what the merge would actually inject.
     """
     residuals = [star.rep_string]
 
@@ -133,7 +154,9 @@ def _star_residuals(star: GStar, n_samples: int) -> List[str]:
         inner = star.inner.to_regex()
         add(_boundary_string(inner, min))
         add(_boundary_string(inner, max))
-        rng = random.Random(star.star_id * 7919 + 13)
+        if rng_seed is None:
+            rng_seed = residual_seed(star, 0)
+        rng = random.Random(rng_seed)
         for _ in range(n_samples):
             add(sample_regex(inner, rng, max_reps=2))
     return residuals
@@ -144,14 +167,20 @@ def merge_checks(
     star_j: GStar,
     mixed: bool = True,
     n_samples: int = 2,
+    seed_i: Optional[int] = None,
+    seed_j: Optional[int] = None,
 ) -> Tuple[str, ...]:
     """The §5.3 substitution checks, plus mixed-adjacency residuals.
 
     ``mixed=False`` with ``n_samples=0`` gives the paper's literal two
-    checks (used by the merge-check ablation bench).
+    checks (used by the merge-check ablation bench). ``seed_i`` /
+    ``seed_j`` are the stars' run-local residual-sampling seeds;
+    :func:`merge_repetitions` passes each star's
+    :func:`residual_seed` at its merge-order index, direct callers get
+    the index-0 default.
     """
-    res_i = _star_residuals(star_i, n_samples)
-    res_j = _star_residuals(star_j, n_samples)
+    res_i = _star_residuals(star_i, n_samples, seed_i)
+    res_j = _star_residuals(star_j, n_samples, seed_j)
     checks = []
     # Paper checks: the other star's doubled residuals in each context.
     for r in res_j:
@@ -187,6 +216,12 @@ def merge_repetitions(
     result = Phase2Result(grammar=grammar, representative={})
     ids = sorted(star.star_id for star in stars)
     by_id = {star.star_id: star for star in stars}
+    # Run-local residual seeds: each star is keyed by its representative
+    # string and its position in the (deterministic) merge order.
+    seed_of = {
+        star_id: residual_seed(by_id[star_id], position)
+        for position, star_id in enumerate(ids)
+    }
     uf = _UnionFind(ids)
     for index, i in enumerate(ids):
         for j in ids[index + 1 :]:
@@ -199,6 +234,8 @@ def merge_repetitions(
                 by_id[j],
                 mixed=mixed_checks,
                 n_samples=2 if mixed_checks else 0,
+                seed_i=seed_of[i],
+                seed_j=seed_of[j],
             )
             # The pair's checks are independent: a concurrent oracle
             # stack answers them as one batch, a sequential one keeps

@@ -6,23 +6,36 @@ plus the §6 extensions) into named stages:
     validate ──► phase1 (per seed: §4 synthesis + §6.2 chargen)
              ──► translate (§5.1) ──► phase2 (§5 merging) ──► finalize
 
+Phase one is *seed-sharded* (:mod:`repro.exec`): every seed's work is a
+self-contained task — fresh membership session, its own query counters,
+the seed's disjoint star-id block — executed on a pluggable backend
+(``GladeConfig.jobs`` / ``backend``). Results merge deterministically in
+seed order regardless of completion order, so the learned grammar is
+byte-identical at any worker count. The §6.1 covered-seed rule is
+applied as an in-order decision: the serial backend skips covered seeds
+before spending any oracle queries on them (the paper's optimization),
+while parallel backends learn every validated seed concurrently and let
+the same rule discard covered results afterwards — the discarded
+speculative queries are excluded from ``oracle_queries`` (and reported
+as ``speculative_queries``), which keeps counted metrics identical to a
+serial run.
+
 After every completed stage — and after *every seed* inside phase one —
 the pipeline writes the full :class:`~repro.artifacts.run.RunArtifact`
 through its :class:`~repro.artifacts.store.CheckpointStore`. A crashed
-or killed run resumes from the last checkpoint: learned trees and the
-membership session are rehydrated from the artifact, finished seeds are
-never re-learned, and **no oracle query is re-issued for checkpointed
-work**. Because every stage is deterministic given the oracle's answers
-(phase-two residual sampling is seeded by star ids, which
-deserialization reserves — see :func:`repro.core.gtree.reserve_star_ids`),
-a resumed run produces a grammar byte-identical to an uninterrupted
+or killed run resumes from the last checkpoint: learned trees are
+rehydrated from the artifact, finished seeds are never re-learned, and
+no oracle query is re-issued for checkpointed work. Because every stage
+is deterministic given the oracle's answers (star ids come from
+per-seed blocks and phase-two residual sampling is seeded run-locally,
+see :func:`repro.core.phase2.residual_seed`), a resumed run — at any
+worker count — produces a grammar byte-identical to an uninterrupted
 one, with the same accumulated query count.
 
 Query statistics accumulate across resumes: the artifact's counters are
-the base, and the current process's
-:class:`~repro.learning.oracle.CountingOracle` adds on top. For
-``oracle_queries`` (the paper's cost metric, counted *including* cache
-hits) the accumulated total equals an uninterrupted run's exactly;
+the base, and the current process adds on top. For ``oracle_queries``
+(the paper's cost metric, counted *including* cache hits) the
+accumulated total equals an uninterrupted run's exactly;
 ``unique_queries`` may count a string once per process that queried it,
 since the membership cache does not persist across restarts.
 """
@@ -30,9 +43,10 @@ since the membership cache does not persist across restarts.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, FrozenSet, Iterator, Optional, Sequence
 
 from repro.artifacts.run import (
+    SEED_LEARNED,
     SEED_PENDING,
     SEED_SKIPPED,
     SEED_USED,
@@ -41,12 +55,12 @@ from repro.artifacts.run import (
     SeedRecord,
 )
 from repro.artifacts.store import CheckpointStore, NullCheckpointStore
-from repro.core.chargen import generalize_characters
 from repro.core.glade import GladeConfig
 from repro.core.gtree import stars_of
-from repro.core.phase1 import synthesize_regex
 from repro.core.phase2 import merge_repetitions
 from repro.core.translate import translate_trees
+from repro.exec.backends import make_executor
+from repro.exec.shard import SeedResult, run_pending, seed_payload
 from repro.languages.engine import MembershipSession
 from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
 
@@ -121,9 +135,9 @@ class LearningPipeline:
         """Continue an interrupted run from its last checkpoint.
 
         Completed work is rehydrated, not redone: finished seeds'
-        regexes re-enter the membership session without oracle queries,
-        and stages the artifact already records are skipped outright. A
-        complete artifact is returned unchanged (zero queries).
+        trees re-enter the run without oracle queries, and stages the
+        artifact already records are skipped outright. A complete
+        artifact is returned unchanged (zero queries).
         """
         if artifact.status == "complete":
             return artifact
@@ -137,17 +151,18 @@ class LearningPipeline:
         # including cache hits (the paper's metric); see core/glade.py.
         cached = CachingOracle(self.oracle)
         counting = CountingOracle(cached)
-        session = MembershipSession(use_engine=config.use_engine)
-        # Rehydrate: learned regexes re-enter the session (recompiling
-        # their NFAs costs no oracle queries).
-        for result in artifact.phase1_results:
-            session.remember(result.root.to_regex())
         base_queries = artifact.oracle_queries
         base_unique = artifact.unique_queries
 
+        state = _Phase1Accounting()
+
         def checkpoint() -> None:
-            artifact.oracle_queries = base_queries + counting.queries
-            artifact.unique_queries = base_unique + cached.unique_queries
+            artifact.oracle_queries = (
+                base_queries + counting.queries + state.queries_delta
+            )
+            artifact.unique_queries = base_unique + state.unique(
+                cached.seen_digests
+            )
             self.store.save(artifact)
 
         def add_timing(stage: str, started: float) -> None:
@@ -167,32 +182,20 @@ class LearningPipeline:
             checkpoint()
 
         if not artifact.stage_done("phase1"):
-            for record in artifact.seeds:
-                if record.state != SEED_VALIDATED:
-                    continue
-                started = time.perf_counter()
-                queries_before = counting.queries
-                if config.skip_covered_seeds and session.covers(record.text):
-                    record.state = SEED_SKIPPED
-                else:
-                    result = synthesize_regex(
-                        record.text,
-                        counting,
-                        record_trace=config.record_trace,
-                        session=session,
-                    )
-                    if config.enable_chargen:
-                        generalize_characters(
-                            result.root, counting, config.alphabet
-                        )
-                    artifact.phase1_results.append(result)
-                    session.remember(result.root.to_regex())
-                    record.state = SEED_USED
-                record.queries = counting.queries - queries_before
-                add_timing("phase1", started)
+            stage_started = time.perf_counter()
+            timing_base = artifact.timings.get("phase1", 0.0)
+
+            def phase1_checkpoint() -> None:
+                artifact.timings["phase1"] = timing_base + (
+                    time.perf_counter() - stage_started
+                )
                 checkpoint()
+
+            self._run_phase1(
+                artifact, config, cached, state, phase1_checkpoint
+            )
             artifact.stage = "phase1"
-            checkpoint()
+            phase1_checkpoint()
 
         trees = artifact.trees()
 
@@ -228,3 +231,175 @@ class LearningPipeline:
             checkpoint()
 
         return artifact
+
+    # -- phase 1: seed-sharded execution ----------------------------------
+
+    def _run_phase1(
+        self,
+        artifact: RunArtifact,
+        config: GladeConfig,
+        cached: CachingOracle,
+        state: "_Phase1Accounting",
+        checkpoint,
+    ) -> None:
+        """Learn every validated seed on the configured backend, then
+        settle final seed states in seed order (the §6.1 rule)."""
+        executor = make_executor(
+            config.backend, max(1, config.jobs), self.oracle
+        )
+        artifact.execution = {
+            "backend": executor.name,
+            "jobs": executor.jobs,
+        }
+        # Parent-side session: tracks kept (USED) languages for the
+        # §6.1 covered-seed test. Oracle-free.
+        session = MembershipSession(use_engine=config.use_engine)
+        with executor:
+            if executor.name == "serial":
+                # In-order: covered seeds are skipped *before* any
+                # oracle query is spent on them, exactly as the
+                # sequential algorithm does. Tasks route through the
+                # parent's caching layer (one cache across seeds) and
+                # share the parent session (one NFA fragment cache).
+                payloads = self._settle_seeds(
+                    artifact, config, session, state, checkpoint,
+                    oracle=cached, emit_pending=True,
+                    task_session=session,
+                )
+                for outcome in run_pending(executor, payloads):
+                    state.absorb(artifact, outcome)
+                    self._keep(artifact, outcome.index, session)
+                    checkpoint()
+            else:
+                # Parallel: learn every validated seed speculatively,
+                # checkpointing each as soon as it finishes (completion
+                # order), then settle states in seed order.
+                payloads = [
+                    seed_payload(index, record.text, config, self.oracle)
+                    for index, record in enumerate(artifact.seeds)
+                    if record.state == SEED_VALIDATED
+                ]
+                for outcome in run_pending(executor, payloads):
+                    state.absorb(artifact, outcome)
+                    artifact.seeds[outcome.index].state = SEED_LEARNED
+                    checkpoint()
+                for _ in self._settle_seeds(
+                    artifact, config, session, state, checkpoint,
+                    oracle=None, emit_pending=False,
+                ):
+                    raise AssertionError(
+                        "validated seed left after parallel learning"
+                    )
+
+    def _settle_seeds(
+        self,
+        artifact: RunArtifact,
+        config: GladeConfig,
+        session: MembershipSession,
+        state: "_Phase1Accounting",
+        checkpoint,
+        oracle,
+        emit_pending: bool,
+        task_session: Optional[MembershipSession] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Walk seeds in order, settling states and yielding payloads.
+
+        The single place the §6.1 covered-seed rule runs: USED seeds
+        re-enter the session, LEARNED (speculative) results are kept or
+        discarded against the kept languages so far, and — with
+        ``emit_pending`` — VALIDATED seeds are either skipped (covered)
+        or yielded as task payloads for the serial executor. Yielding
+        is lazy, so by the time seed *i*'s payload is requested, every
+        earlier seed has been settled and remembered.
+        """
+        for index, record in enumerate(artifact.seeds):
+            if record.state == SEED_SKIPPED:
+                continue
+            if record.state == SEED_USED:
+                session.remember(state.result_of(artifact, index))
+                continue
+            if record.state == SEED_LEARNED:
+                if config.skip_covered_seeds and session.covers(record.text):
+                    state.discard(artifact, index)
+                    record.state = SEED_SKIPPED
+                else:
+                    self._keep(artifact, index, session)
+                checkpoint()
+                continue
+            if record.state != SEED_VALIDATED:
+                continue
+            if not emit_pending:
+                yield seed_payload(index, record.text, config, oracle)
+                continue
+            if config.skip_covered_seeds and session.covers(record.text):
+                record.state = SEED_SKIPPED
+                checkpoint()
+                continue
+            yield seed_payload(
+                index, record.text, config, oracle,
+                session=task_session,
+                shared_cache=task_session is not None,
+            )
+
+    def _keep(
+        self, artifact: RunArtifact, index: int, session: MembershipSession
+    ) -> None:
+        artifact.seeds[index].state = SEED_USED
+        regex = _Phase1Accounting.result_of(artifact, index)
+        session.remember(regex)
+
+
+class _Phase1Accounting:
+    """Bookkeeping for sharded phase-1 results within one process.
+
+    Tracks, per seed completed *this process*, the task's query count
+    and its digest set, so the artifact's totals can (a) exclude
+    speculative work the §6.1 filter discards and (b) count distinct
+    strings globally across shards (union of per-shard digest sets plus
+    the parent oracle's own)."""
+
+    def __init__(self):
+        self.queries_delta = 0
+        self._digests: Dict[int, FrozenSet[int]] = {}
+
+    def absorb(self, artifact: RunArtifact, outcome: SeedResult) -> None:
+        """Record a freshly completed seed task (any backend)."""
+        record = artifact.seeds[outcome.index]
+        record.queries = outcome.queries
+        record.seconds = outcome.seconds
+        self.queries_delta += outcome.queries
+        self._digests[outcome.index] = outcome.digests
+        artifact.phase1_results.append(outcome.result)
+        artifact.phase1_results.sort(key=lambda r: r.seed_index)
+
+    def discard(self, artifact: RunArtifact, index: int) -> None:
+        """Drop a speculative result the covered-seed rule rejected.
+
+        The queries it spent move to ``speculative_queries``; the
+        subtraction is correct whether the seed was learned this
+        process (``queries_delta`` included it) or a prior one (the
+        artifact's base totals included it)."""
+        record = artifact.seeds[index]
+        self.queries_delta -= record.queries
+        artifact.speculative_queries += record.queries
+        record.queries = 0
+        self._digests.pop(index, None)
+        artifact.phase1_results = [
+            r for r in artifact.phase1_results if r.seed_index != index
+        ]
+
+    def unique(self, parent_digests: FrozenSet[int]) -> int:
+        """Distinct strings queried this process, across all shards."""
+        union = set(parent_digests)
+        for digests in self._digests.values():
+            union.update(digests)
+        return len(union)
+
+    @staticmethod
+    def result_of(artifact: RunArtifact, index: int):
+        for result in artifact.phase1_results:
+            if result.seed_index == index:
+                return result.root.to_regex()
+        raise AssertionError(
+            "no phase-1 result recorded for seed {}".format(index)
+        )

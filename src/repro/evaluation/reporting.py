@@ -88,6 +88,16 @@ def summarize_artifact(artifact) -> str:
                 " ".join(artifact.oracle_spec.get("command", []))
             )
         )
+    if artifact.execution:
+        line = "execution: {} backend, {} job(s)".format(
+            artifact.execution.get("backend", "?"),
+            artifact.execution.get("jobs", "?"),
+        )
+        if artifact.speculative_queries:
+            line += ", {} speculative queries discarded".format(
+                artifact.speculative_queries
+            )
+        lines.append(line)
     lines.append("")
     lines.append(
         format_table(

@@ -1,0 +1,43 @@
+"""Parallel execution subsystem: pluggable backends + seed sharding.
+
+The learning pipeline partitions per-seed phase-1 work into independent
+tasks (:mod:`repro.exec.shard`) and runs them on a pluggable
+:class:`~repro.exec.backends.Executor` — serial, thread pool, or
+process pool — selected by ``GladeConfig.jobs`` / ``backend`` (CLI
+``--jobs`` / ``--backend``). Determinism is preserved at any worker
+count: star ids come from disjoint per-seed blocks, results merge in
+seed order, and phase-2 residual sampling is seeded run-locally, so
+``--jobs 1`` and ``--jobs 4`` produce byte-identical grammars.
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    resolve_backend,
+)
+from repro.exec.shard import (
+    SeedResult,
+    decode_task,
+    run_pending,
+    run_seed_task,
+    seed_payload,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "ProcessExecutor",
+    "SeedResult",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "decode_task",
+    "make_executor",
+    "resolve_backend",
+    "run_pending",
+    "run_seed_task",
+    "seed_payload",
+]

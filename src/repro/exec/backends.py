@@ -1,0 +1,199 @@
+"""Pluggable execution backends for embarrassingly parallel work.
+
+An :class:`Executor` runs independent task payloads through one worker
+function and yields ``(index, result)`` pairs as tasks complete — in
+arbitrary order for the parallel backends, which is fine because the
+consumers (:mod:`repro.exec.shard`, the pipeline) merge results back
+into deterministic seed order.
+
+Three implementations:
+
+- :class:`SerialExecutor` — runs tasks inline, lazily, in submission
+  order. The zero-overhead default; laziness matters because the
+  sequential pipeline can decide to *not* submit later tasks based on
+  earlier results (the §6.1 covered-seed skip).
+- :class:`ThreadExecutor` — a ``ThreadPoolExecutor``. The right choice
+  when task time is dominated by releasing the GIL (subprocess oracles,
+  I/O); shares the oracle object across tasks.
+- :class:`ProcessExecutor` — a ``ProcessPoolExecutor``. True CPU
+  parallelism for in-process oracles; the worker function and every
+  payload must be picklable (the shard module's task payloads are plain
+  dicts of primitives plus the oracle).
+
+``resolve_backend`` maps the user-facing ``--backend auto`` setting to
+a concrete backend for a given job count and oracle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Any, Callable, Iterator, Sequence, Tuple
+
+#: Backend names accepted by :func:`make_executor` / the CLI.
+BACKENDS = ("serial", "thread", "process")
+
+
+class Executor:
+    """Interface: run independent payloads, yield results as they finish."""
+
+    #: Concrete backend name, recorded in the run artifact.
+    name: str = "?"
+    #: Worker count, recorded in the run artifact.
+    jobs: int = 1
+
+    def unordered(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(index, fn(payloads[index]))`` in completion order.
+
+        A worker exception propagates to the consumer *unwrapped* —
+        running through an executor is exception-transparent, exactly
+        like calling ``fn`` inline. This matters for the oracle stack's
+        control-flow exceptions (``OracleBudgetExceeded``,
+        ``LearningTimeout``), which callers catch by type.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources; the executor is done after this."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline, lazily, in submission order."""
+
+    name = "serial"
+    jobs = 1
+
+    def unordered(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        for index, payload in enumerate(payloads):
+            yield index, fn(payload)
+
+
+class _PoolExecutor(Executor):
+    """Shared future-driving logic for the concurrent.futures backends."""
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self._pool = self._make_pool(jobs)
+
+    def _make_pool(self, jobs: int):
+        raise NotImplementedError
+
+    def unordered(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        futures = {
+            self._pool.submit(fn, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    # .result() re-raises the worker's exception as-is
+                    # (the process backend reconstructs it by pickle),
+                    # preserving exception-transparency.
+                    yield futures[future], future.result()
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Run tasks on a thread pool (oracle object shared across tasks)."""
+
+    name = "thread"
+
+    def _make_pool(self, jobs: int):
+        return ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-exec"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Run tasks on a process pool (payloads shipped by pickle)."""
+
+    name = "process"
+
+    def _make_pool(self, jobs: int):
+        return ProcessPoolExecutor(max_workers=jobs)
+
+
+def resolve_backend(backend: str, jobs: int, oracle: Any = None) -> str:
+    """Map a requested backend (possibly ``auto``) to a concrete one.
+
+    One job always resolves to serial — a single-worker pool would
+    only add overhead *and* trade away the §6.1 pre-skip for
+    speculation with nothing to overlap. With several jobs, ``auto``
+    picks the process backend when the oracle can be pickled (true CPU
+    parallelism), falling back to threads for in-process closures that
+    cannot cross a process boundary (still a win for GIL-releasing
+    oracles); asking for ``serial`` with several jobs is a
+    contradiction and rejected.
+    """
+    if backend not in BACKENDS and backend != "auto":
+        raise ValueError(
+            "unknown execution backend {!r} (expected one of {})".format(
+                backend, ", ".join(BACKENDS + ("auto",))
+            )
+        )
+    if jobs <= 1:
+        return "serial"
+    if backend == "serial":
+        raise ValueError(
+            "the serial backend is single-worker; use jobs=1 with it, "
+            "or pick thread/process (or auto) for {} jobs".format(jobs)
+        )
+    if backend == "process":
+        if oracle is not None:
+            _require_picklable(oracle)
+        return "process"
+    if backend == "thread":
+        return "thread"
+    if oracle is not None:
+        try:
+            pickle.dumps(oracle)
+        except Exception:
+            return "thread"
+    return "process"
+
+
+def _require_picklable(oracle: Any) -> None:
+    try:
+        pickle.dumps(oracle)
+    except Exception as exc:
+        raise ValueError(
+            "the process backend requires a picklable oracle "
+            "(got {!r}: {}); use backend='thread' for in-process "
+            "closures".format(type(oracle).__name__, exc)
+        ) from exc
+
+
+def make_executor(backend: str, jobs: int, oracle: Any = None) -> Executor:
+    """Build the executor for a resolved or ``auto`` backend name."""
+    resolved = resolve_backend(backend, jobs, oracle)
+    if resolved == "serial":
+        return SerialExecutor()
+    if resolved == "thread":
+        return ThreadExecutor(jobs)
+    return ProcessExecutor(jobs)

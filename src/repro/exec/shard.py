@@ -1,0 +1,157 @@
+"""Seed-sharded phase 1: independent per-seed tasks, deterministic merge.
+
+GLADE's phase 1 (§4 synthesis + §6.2 character generalization)
+processes each seed independently — nothing is shared until translation
+and phase-2 merging. This module packages that per-seed work as
+self-contained tasks an :class:`~repro.exec.backends.Executor` can run
+on any worker, in any order, with a merge that is deterministic in
+*seed order* regardless of completion order:
+
+- every task owns its own query counters, the seed's disjoint star-id
+  block, and a membership session — fresh by default; the serial path
+  shares the pipeline's (in-process, so cross-seed NFA fragment reuse
+  is free and results are unchanged)
+  (:func:`~repro.core.gtree.seed_block_allocator`), so learned trees —
+  including their ``R<id>`` nonterminal names — are identical whether
+  the seed ran first on the main thread or last in a worker process;
+- task payloads and results are picklable: the result carries the
+  generalization tree in the artifact's JSON encoding, the seed's query
+  count, the deterministic digests of its distinct query strings (for
+  global unique-query accounting, see
+  :func:`~repro.learning.oracle.text_digest`), and worker wall-clock;
+- :func:`run_pending` drives a batch through an executor, yielding
+  decoded results in completion order; callers checkpoint each one and
+  sort by ``index`` when merging.
+
+The §6.1 covered-seed *decision* stays with the pipeline (it is a
+cross-seed rule applied in seed order); sharding only changes when the
+speculative learning work happens.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, Sequence
+
+from repro.core.chargen import generalize_characters
+from repro.core.gtree import seed_block_allocator
+from repro.core.phase1 import Phase1Result, synthesize_regex
+from repro.exec.backends import Executor
+from repro.languages.engine import MembershipSession
+from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
+
+
+@dataclass
+class SeedResult:
+    """One seed's merged phase-1 outcome, decoded on the parent side."""
+
+    index: int
+    result: Phase1Result
+    queries: int
+    digests: FrozenSet[int]
+    seconds: float
+
+
+def seed_payload(
+    index: int,
+    text: str,
+    config: Any,
+    oracle: Oracle,
+    session: Any = None,
+    shared_cache: bool = False,
+) -> Dict[str, Any]:
+    """The task payload for one seed (picklable with the defaults).
+
+    ``config`` is the run's :class:`~repro.core.glade.GladeConfig` (a
+    dataclass of primitives). ``oracle`` is the base membership oracle
+    for workers (each pickled copy builds its own cache); the serial
+    path instead passes its process-local :class:`CachingOracle` with
+    ``shared_cache=True``, so the task skips its own cache layer — one
+    memo across all seeds, no double caching — and returns no digest
+    set (the parent cache's is a superset). ``session`` optionally
+    shares one in-process membership session across tasks — only the
+    serial path does this (sessions are neither thread-safe nor worth
+    pickling), recovering the cross-seed NFA fragment reuse of the
+    pre-sharding sequential loop. Results are identical with or
+    without either sharing knob.
+    """
+    return {
+        "index": index,
+        "text": text,
+        "config": config,
+        "oracle": oracle,
+        "session": session,
+        "shared_cache": shared_cache,
+    }
+
+
+def run_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Learn one seed, self-contained: phase 1 plus chargen.
+
+    This is the worker entry point for every backend (module-level so
+    process pools can pickle it by reference). The returned dict is the
+    wire format: the tree in artifact JSON encoding, query stats, and
+    timings — everything the parent needs to merge deterministically.
+    """
+    # Imported here (not at module top) to keep the worker import
+    # surface explicit; artifacts.schema itself imports core modules.
+    from repro.artifacts.schema import phase1_result_to_dict
+
+    index = payload["index"]
+    config = payload["config"]
+    if payload.get("shared_cache"):
+        # The payload oracle already is a (shared) caching layer.
+        cached = None
+        counting = CountingOracle(payload["oracle"])
+    else:
+        cached = CachingOracle(payload["oracle"])
+        counting = CountingOracle(cached)
+    session = payload.get("session")
+    if session is None:
+        session = MembershipSession(use_engine=config.use_engine)
+    started = time.perf_counter()
+    result = synthesize_regex(
+        payload["text"],
+        counting,
+        record_trace=config.record_trace,
+        session=session,
+        allocator=seed_block_allocator(index),
+    )
+    if config.enable_chargen:
+        generalize_characters(result.root, counting, config.alphabet)
+    result.seed_index = index
+    return {
+        "index": index,
+        "result": phase1_result_to_dict(result),
+        "queries": counting.queries,
+        "digests": tuple(cached.seen_digests) if cached is not None else (),
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def decode_task(raw: Dict[str, Any]) -> SeedResult:
+    """Decode a worker's wire-format result into live objects."""
+    from repro.artifacts.schema import phase1_result_from_dict
+
+    return SeedResult(
+        index=raw["index"],
+        result=phase1_result_from_dict(raw["result"]),
+        queries=raw["queries"],
+        digests=frozenset(raw["digests"]),
+        seconds=raw["seconds"],
+    )
+
+
+def run_pending(
+    executor: Executor, payloads: Sequence[Dict[str, Any]]
+) -> Iterator[SeedResult]:
+    """Run payloads through the executor, yielding results as they finish.
+
+    Completion order is arbitrary for parallel backends; consumers
+    checkpoint each result immediately (a seed checkpoints as soon as
+    *it* finishes) and restore seed order at merge time by sorting on
+    ``SeedResult.index``.
+    """
+    for _position, raw in executor.unordered(run_seed_task, payloads):
+        yield decode_task(raw)

@@ -17,14 +17,32 @@ their counting/caching/deadline semantics.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import subprocess
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
 Oracle = Callable[[str], bool]
+
+
+def text_digest(text: str) -> int:
+    """A deterministic 64-bit fingerprint of a query string.
+
+    Used to count *distinct* queried strings without retaining them —
+    including across worker processes, where sets of digests from
+    independent shards are unioned. Python's builtin ``hash`` is salted
+    per process, so it cannot be merged across workers; a truncated
+    blake2b can. A collision undercounting the metric is astronomically
+    unlikely.
+    """
+    digest = hashlib.blake2b(
+        text.encode("utf-8", "surrogatepass"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 class OracleBudgetExceeded(Exception):
@@ -153,20 +171,26 @@ class CachingOracle:
     def __init__(self, oracle: Oracle, max_size: Optional[int] = None):
         self._oracle = oracle
         self._cache: Dict[str, bool] = {}
-        # Distinct strings are tracked by hash, not by value, so a
-        # bounded cache stays memory-bounded per distinct string (O(1)
-        # instead of retaining every evicted string); a hash collision
-        # undercounting the metric is astronomically unlikely.
+        # Distinct strings are tracked by deterministic digest, not by
+        # value, so a bounded cache stays memory-bounded per distinct
+        # string (O(1) instead of retaining every evicted string), and
+        # the sets can be unioned across worker processes for global
+        # unique-query accounting (see :func:`text_digest`).
         self._seen: Set[int] = set()
         self._max_size = max_size
         self.unique_queries = 0
+
+    @property
+    def seen_digests(self) -> FrozenSet[int]:
+        """Digests of every distinct string forwarded to the oracle."""
+        return frozenset(self._seen)
 
     @property
     def concurrent(self) -> bool:
         return supports_concurrency(self._oracle)
 
     def _record(self, text: str, result: bool) -> None:
-        fingerprint = hash(text)
+        fingerprint = text_digest(text)
         if fingerprint not in self._seen:
             self._seen.add(fingerprint)
             self.unique_queries += 1
@@ -215,25 +239,31 @@ class BudgetOracle:
         self._oracle = oracle
         self.budget = budget
         self.queries = 0
+        # The thread execution backend shares one oracle object across
+        # worker threads; the check-then-increment must be atomic or
+        # the budget can be overshot (`+=` on an attribute is not).
+        self._lock = threading.Lock()
 
     @property
     def concurrent(self) -> bool:
         return supports_concurrency(self._oracle)
 
+    def _charge(self, count: int) -> None:
+        with self._lock:
+            if self.queries + count > self.budget:
+                raise OracleBudgetExceeded(
+                    "membership-query budget of {} exhausted".format(
+                        self.budget
+                    )
+                )
+            self.queries += count
+
     def __call__(self, text: str) -> bool:
-        if self.queries >= self.budget:
-            raise OracleBudgetExceeded(
-                "membership-query budget of {} exhausted".format(self.budget)
-            )
-        self.queries += 1
+        self._charge(1)
         return self._oracle(text)
 
     def query_many(self, texts: Sequence[str]) -> List[bool]:
-        if self.queries + len(texts) > self.budget:
-            raise OracleBudgetExceeded(
-                "membership-query budget of {} exhausted".format(self.budget)
-            )
-        self.queries += len(texts)
+        self._charge(len(texts))
         return query_many(self._oracle, texts)
 
 
@@ -304,6 +334,10 @@ class SubprocessOracle:
         self.error_marker = error_marker
         self.max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Guards lazy pool creation: the thread execution backend
+        # shares one oracle object across worker threads, so two first
+        # batches may race to create the pool.
+        self._pool_lock = threading.Lock()
 
     @property
     def concurrent(self) -> bool:
@@ -350,23 +384,45 @@ class SubprocessOracle:
         texts = list(texts)
         if len(texts) <= 1:
             return [self(text) for text in texts]
-        if self._pool is None:
-            # Created lazily and kept for the oracle's lifetime: the
-            # learner issues thousands of small batches, so per-batch
-            # pool setup/teardown would dominate. Release with close()
-            # (or a with-block) in long-lived processes; otherwise the
-            # interpreter joins the idle workers at exit.
-            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        return list(self._pool.map(self, texts))
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    # Created lazily and kept for the oracle's
+                    # lifetime: the learner issues thousands of small
+                    # batches, so per-batch pool setup/teardown would
+                    # dominate. Release with close() (or a with-block)
+                    # in long-lived processes; otherwise the
+                    # interpreter joins the idle workers at exit.
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers
+                    )
+                pool = self._pool
+        return list(pool.map(self, texts))
 
     def close(self) -> None:
         """Shut down the batch thread pool (a later batch recreates it)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "SubprocessOracle":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
+
+    def __getstate__(self) -> dict:
+        # The lazily created thread pool (and its lock) are
+        # process-local state; a pickled copy (e.g. one shipped to a
+        # ProcessExecutor worker) starts without them and creates its
+        # own on first batch.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        del state["_pool_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()

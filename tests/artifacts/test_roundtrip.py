@@ -142,12 +142,24 @@ def test_gtree_roundtrip_learned_trees():
         assert restored.trace == p1.trace
 
 
-def test_gtree_roundtrip_reserves_star_ids():
+def test_gtree_roundtrip_restores_star_ids_verbatim():
+    # Ids come from disjoint per-seed blocks, so deserialization keeps
+    # them verbatim and needs no global reservation: a block allocator
+    # for a different seed can never collide with restored ids.
+    from repro.core.gtree import seed_block_allocator
+
     tree = sample_tree()
     restored = gtree_from_dict(json_roundtrip(gtree_to_dict(tree)))
-    max_id = max(s.star_id for s in stars_of(restored))
-    fresh = GStar(GConst("z", Context("", "")), "z", Context("", ""))
-    assert fresh.star_id > max_id
+    assert [s.star_id for s in stars_of(restored)] == [
+        s.star_id for s in stars_of(tree)
+    ]
+    allocator = seed_block_allocator(3)
+    fresh = GStar(
+        GConst("z", Context("", "")), "z", Context("", ""),
+        allocator=allocator,
+    )
+    assert fresh.star_id == 3 << 20
+    assert fresh.star_id not in {s.star_id for s in stars_of(restored)}
 
 
 def test_gtree_empty_root_roundtrip():

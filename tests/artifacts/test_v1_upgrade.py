@@ -1,0 +1,99 @@
+"""Schema-v1 artifacts load (and resume) under the v2 build.
+
+Checkpoints are the one thing the artifact subsystem exists to
+preserve, so the v2 schema bump upgrades v1 documents in place instead
+of refusing them. A v1 document is simulated by downgrading a real v2
+one: stripping every v2-only field, exactly what a PR-2 build wrote.
+"""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactError,
+    MemoryCheckpointStore,
+    RunArtifact,
+    SEED_USED,
+    SEED_VALIDATED,
+)
+from repro.core.glade import GladeConfig
+from repro.core.pipeline import LearningPipeline
+
+from tests.core.helpers import XML_ALPHABET, xml_like_oracle
+
+SEEDS = ["<a>ab</a>", "xy"]
+
+
+def downgrade_to_v1(data):
+    """Strip every v2-only field, producing what a PR-2 build wrote."""
+    v1 = json.loads(json.dumps(data))
+    v1["schema_version"] = 1
+    v1.pop("speculative_queries", None)
+    v1.pop("execution", None)
+    for seed in v1["seeds"]:
+        seed.pop("seconds", None)
+    for result in v1["phase1_results"]:
+        result.pop("seed_index", None)
+    for key in ("jobs", "backend"):
+        v1["config"].pop(key, None)
+    return v1
+
+
+@pytest.fixture(scope="module")
+def finished():
+    config = GladeConfig(alphabet=XML_ALPHABET)
+    store = MemoryCheckpointStore()
+    pipeline = LearningPipeline(xml_like_oracle, config=config, store=store)
+    return pipeline.run(SEEDS), store
+
+
+def test_complete_v1_artifact_loads(finished):
+    artifact, _store = finished
+    v1 = downgrade_to_v1(artifact.to_dict())
+    restored = RunArtifact.from_dict(v1)
+    # Results are re-indexed against the used seeds, in order.
+    used = [
+        i for i, s in enumerate(restored.seeds) if s.state == SEED_USED
+    ]
+    assert [r.seed_index for r in restored.phase1_results] == used
+    assert str(restored.grammar) == str(artifact.grammar)
+    assert restored.schema_version == artifact.schema_version
+    # Re-saving writes the current schema.
+    assert restored.to_dict()["schema_version"] == 2
+
+
+def test_in_progress_v1_artifact_resumes(finished):
+    artifact, store = finished
+    snapshot = None
+    for index in range(len(store.snapshots)):
+        candidate = store.snapshot(index)
+        if any(s.state == SEED_USED for s in candidate.seeds) and any(
+            s.state == SEED_VALIDATED for s in candidate.seeds
+        ):
+            snapshot = candidate
+            break
+    assert snapshot is not None
+    v1 = downgrade_to_v1(snapshot.to_dict())
+    restored = RunArtifact.from_dict(v1)
+    resumed = LearningPipeline(
+        xml_like_oracle, config=restored.config
+    ).resume(restored)
+    assert resumed.status == "complete"
+    assert str(resumed.grammar) == str(artifact.grammar)
+
+
+def test_v1_with_mismatched_results_rejected(finished):
+    artifact, _store = finished
+    v1 = downgrade_to_v1(artifact.to_dict())
+    v1["phase1_results"].append(v1["phase1_results"][0])
+    with pytest.raises(ArtifactError, match="cannot upgrade"):
+        RunArtifact.from_dict(v1)
+
+
+def test_unknown_version_still_rejected(finished):
+    artifact, _store = finished
+    data = artifact.to_dict()
+    data["schema_version"] = 999
+    with pytest.raises(ArtifactError, match="schema version"):
+        RunArtifact.from_dict(data)

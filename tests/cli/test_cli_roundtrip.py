@@ -194,6 +194,83 @@ def test_learn_kill_resume_sample_roundtrip(tmp_path, oracle_path):
     assert "phase-one regex" in shown.stdout
 
 
+def test_parallel_learn_kill_resume_matches_serial(tmp_path, oracle_path):
+    """``learn --jobs 4`` SIGKILLed mid-run, then ``resume --jobs 4``,
+    ends byte-identical to an uninterrupted ``--jobs 1`` run — the
+    determinism guarantee of the execution subsystem, end to end."""
+    # Reference: uninterrupted serial (--jobs 1) run.
+    env = cli_env(tmp_path, "ref.log")
+    ref_out = tmp_path / "ref.json"
+    completed = run_cli(learn_args(oracle_path, ref_out), env)
+    assert completed.returncode == 0, completed.stderr
+    ref = json.loads(ref_out.read_text())
+    assert ref["execution"] == {"backend": "serial", "jobs": 1}
+
+    # Interrupted parallel run (thread backend keeps it light on CI).
+    env = cli_env(tmp_path, "par.log")
+    par_out = tmp_path / "par.json"
+    parallel = ["--jobs", "4", "--backend", "thread"]
+    proc = subprocess.Popen(
+        cli_command(*(learn_args(oracle_path, par_out) + parallel)),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 90
+        killed_mid_run = False
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if par_out.exists():
+                try:
+                    snapshot = json.loads(par_out.read_text())
+                except json.JSONDecodeError:
+                    snapshot = None  # mid-replace; retry
+                if (
+                    snapshot
+                    and snapshot["status"] == "in_progress"
+                    and len(snapshot["phase1_results"]) >= 1
+                ):
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait(timeout=30)
+                    killed_mid_run = True
+                    break
+            time.sleep(0.005)
+        assert killed_mid_run, "learn finished before it could be killed"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    resumed = run_cli(
+        ["resume", str(par_out), "--jobs", "4", "--backend", "thread"], env
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    final = json.loads(par_out.read_text())
+    assert final["status"] == "complete"
+
+    # Byte-identical grammar and equal counted metrics vs --jobs 1.
+    assert json.dumps(final["grammar"], sort_keys=True) == json.dumps(
+        ref["grammar"], sort_keys=True
+    )
+    assert final["oracle_queries"] == ref["oracle_queries"]
+    assert [s["state"] for s in final["seeds"]] == [
+        s["state"] for s in ref["seeds"]
+    ]
+    assert [s["queries"] for s in final["seeds"]] == [
+        s["queries"] for s in ref["seeds"]
+    ]
+    # The artifact records how phase 1 actually executed.
+    assert final["execution"] == {"backend": "thread", "jobs": 4}
+
+    # Samples drawn from both artifacts are identical.
+    a = run_cli(["sample", str(ref_out), "-n", "6", "--rng-seed", "3"], env)
+    b = run_cli(["sample", str(par_out), "-n", "6", "--rng-seed", "3"], env)
+    assert a.returncode == 0 and b.returncode == 0
+    assert a.stdout == b.stdout
+
+
 def test_learn_reports_seed_provenance_on_rejection(tmp_path, oracle_path):
     env = cli_env(tmp_path, "reject.log")
     seed_file = tmp_path / "seeds.txt"
@@ -247,8 +324,12 @@ def test_learn_refuses_to_clobber_in_progress_artifact(
 
 
 def test_malformed_artifact_is_reported_cleanly(tmp_path):
+    from repro.artifacts import SCHEMA_VERSION
+
     path = tmp_path / "mangled.json"
-    path.write_text(json.dumps({"kind": "glade-run", "schema_version": 1}))
+    path.write_text(
+        json.dumps({"kind": "glade-run", "schema_version": SCHEMA_VERSION})
+    )
     env = cli_env(tmp_path, "unused.log")
     proc = run_cli(["show", str(path)], env)
     assert proc.returncode == 2

@@ -17,7 +17,6 @@ from repro.artifacts import (
     SEED_USED,
     SEED_VALIDATED,
 )
-from repro.core import gtree
 from repro.core.glade import GladeConfig, learn_grammar
 from repro.core.pipeline import LearningPipeline, SeedRejected
 
@@ -25,35 +24,10 @@ from tests.core.helpers import XML_ALPHABET, xml_like_oracle
 
 SEEDS = ["<a>ab</a>", "xy", "<a><a>q</a></a>"]
 
-
-@pytest.fixture(autouse=True)
-def preserve_star_counter():
-    """Restore the global star-id counter after every test here.
-
-    Pipeline tests learn repeatedly (and reset the counter, below);
-    restoring the pre-test value keeps the suite's counter trajectory —
-    which the quality-floor tests are sensitive to via star-id-seeded
-    phase-2 residual sampling — exactly what it was before this module
-    existed.
-    """
-    saved = gtree._star_counter.next_id
-    yield
-    gtree._star_counter.next_id = saved
-
-
-@pytest.fixture
-def fresh_star_ids():
-    """Reset the global star-id counter to zero (callable, reusable).
-
-    Byte-identical grammar comparisons need both runs to number their
-    stars from the same origin; within one process that requires
-    resetting the (otherwise monotone) counter.
-    """
-
-    def reset():
-        gtree._star_counter.next_id = 0
-
-    return reset
+# Star ids are run-local (per-seed block allocators) and phase-2
+# residual sampling is seeded run-locally, so two runs of the same
+# problem are byte-identical with no global state to reset — the
+# counter-restoring fixtures this module used to need are gone.
 
 
 class CountingBase:
@@ -68,19 +42,16 @@ class CountingBase:
         return self.fn(text)
 
 
-def run_uninterrupted(fresh_star_ids, config):
-    fresh_star_ids()
+def run_uninterrupted(config):
     store = MemoryCheckpointStore()
     oracle = CountingBase(xml_like_oracle)
     artifact = LearningPipeline(oracle, config=config, store=store).run(SEEDS)
     return artifact, store, oracle
 
 
-def test_pipeline_matches_learn_grammar(fresh_star_ids):
+def test_pipeline_matches_learn_grammar():
     config = GladeConfig(alphabet=XML_ALPHABET)
-    fresh_star_ids()
     direct = learn_grammar(SEEDS, xml_like_oracle, config)
-    fresh_star_ids()
     artifact = LearningPipeline(xml_like_oracle, config=config).run(SEEDS)
     result = artifact.to_glade_result()
     assert str(result.grammar) == str(direct.grammar)
@@ -90,9 +61,9 @@ def test_pipeline_matches_learn_grammar(fresh_star_ids):
     assert result.seeds_skipped == direct.seeds_skipped
 
 
-def test_pipeline_checkpoints_every_stage_and_seed(fresh_star_ids):
+def test_pipeline_checkpoints_every_stage_and_seed():
     config = GladeConfig(alphabet=XML_ALPHABET)
-    artifact, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    artifact, store, _oracle = run_uninterrupted(config)
     stages = [snap.stage for snap in map(store.snapshot, range(len(store.snapshots)))]
     # validate, one per seed, phase1, translate, phase2, finalize.
     assert stages[0] == "validate"
@@ -119,15 +90,14 @@ def find_snapshot(store, n_results):
 
 
 @pytest.mark.parametrize("n_done", [1, 2])
-def test_resume_mid_phase1_is_byte_identical(fresh_star_ids, n_done):
+def test_resume_mid_phase1_is_byte_identical(n_done):
     config = GladeConfig(alphabet=XML_ALPHABET)
-    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    full, store, _oracle = run_uninterrupted(config)
 
     index = find_snapshot(store, n_done)
     base = store.snapshot(index)
     base_queries = base.oracle_queries
 
-    fresh_star_ids()
     resumed_oracle = CountingBase(xml_like_oracle)
     resumed = LearningPipeline(resumed_oracle, config=config).resume(
         store.snapshot(index)
@@ -149,16 +119,15 @@ def test_resume_mid_phase1_is_byte_identical(fresh_star_ids, n_done):
     assert resumed.seeds_skipped() == full.seeds_skipped()
 
 
-def test_resume_after_translate_reissues_no_phase1_queries(fresh_star_ids):
+def test_resume_after_translate_reissues_no_phase1_queries():
     config = GladeConfig(alphabet=XML_ALPHABET)
-    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    full, store, _oracle = run_uninterrupted(config)
     for index in range(len(store.snapshots)):
         snap = store.snapshot(index)
         if snap.stage == "translate":
             break
     assert snap.grammar is not None
 
-    fresh_star_ids()
     oracle = CountingBase(xml_like_oracle)
     resumed = LearningPipeline(oracle, config=config).resume(snap)
     assert str(resumed.grammar) == str(full.grammar)
@@ -166,9 +135,9 @@ def test_resume_after_translate_reissues_no_phase1_queries(fresh_star_ids):
     assert resumed.oracle_queries == full.oracle_queries
 
 
-def test_resume_complete_artifact_is_noop(fresh_star_ids):
+def test_resume_complete_artifact_is_noop():
     config = GladeConfig(alphabet=XML_ALPHABET)
-    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    full, store, _oracle = run_uninterrupted(config)
     oracle = CountingBase(xml_like_oracle)
     resumed = LearningPipeline(oracle, config=config).resume(
         store.snapshot(-1)
@@ -177,9 +146,8 @@ def test_resume_complete_artifact_is_noop(fresh_star_ids):
     assert str(resumed.grammar) == str(full.grammar)
 
 
-def test_skipped_seed_state_checkpointed(fresh_star_ids):
+def test_skipped_seed_state_checkpointed():
     config = GladeConfig(alphabet="ab", enable_chargen=False)
-    fresh_star_ids()
     artifact = LearningPipeline(
         lambda s: set(s) <= set("ab"), config=config
     ).run(["ab", "abab"])  # "abab" is covered by the first seed's regex
@@ -224,9 +192,9 @@ def test_empty_seed_list_rejected():
         LearningPipeline(xml_like_oracle).run(["a"], sources=["x", "y"])
 
 
-def test_run_artifact_roundtrips_through_store(fresh_star_ids):
+def test_run_artifact_roundtrips_through_store():
     config = GladeConfig(alphabet=XML_ALPHABET, record_trace=True)
-    full, store, _oracle = run_uninterrupted(fresh_star_ids, config)
+    full, store, _oracle = run_uninterrupted(config)
     restored = store.snapshot(-1)
     assert isinstance(restored, RunArtifact)
     assert str(restored.grammar) == str(full.grammar)

@@ -34,16 +34,6 @@ def test_series_layout():
 class TestSummarizeArtifact:
     """`repro show`: reports are produced from the persisted artifact."""
 
-    @pytest.fixture(autouse=True)
-    def preserve_star_counter(self):
-        # Learning runs here consume global star ids; restore the
-        # counter so later counter-sensitive tests are unaffected.
-        from repro.core import gtree
-
-        saved = gtree._star_counter.next_id
-        yield
-        gtree._star_counter.next_id = saved
-
     def make_artifact(self):
         from repro.core.glade import GladeConfig
         from repro.core.pipeline import LearningPipeline

@@ -1,0 +1,145 @@
+"""Parallel determinism: any backend, any job count, same grammar.
+
+The acceptance property of the execution subsystem: serial, thread and
+process backends over 1–4 seeds yield identical serialized grammars,
+identical per-seed query counts and states, and equal run-level query
+totals — and a run interrupted mid-phase-1 resumes under ``--jobs 4``
+to exactly the uninterrupted result. The oracle is the XML target's
+(module-level, hence picklable for the process backend).
+"""
+
+import json
+
+import pytest
+
+from repro.artifacts import (
+    MemoryCheckpointStore,
+    SEED_LEARNED,
+    SEED_SKIPPED,
+    SEED_USED,
+    SEED_VALIDATED,
+    grammar_to_dict,
+)
+from repro.core.glade import GladeConfig
+from repro.core.pipeline import LearningPipeline
+from repro.targets import get_target
+
+
+@pytest.fixture(scope="module")
+def xml():
+    return get_target("xml")
+
+
+@pytest.fixture(scope="module")
+def seeds(xml):
+    return sorted(xml.sample_seeds(4, seed=0), key=len)
+
+
+def learn(xml, seeds, jobs, backend, store=None):
+    config = GladeConfig(alphabet=xml.alphabet, jobs=jobs, backend=backend)
+    pipeline = LearningPipeline(xml.oracle, config=config, store=store)
+    return pipeline.run(seeds)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(xml, seeds):
+    """Uninterrupted serial runs over 1 and 4 seeds."""
+    return {n: learn(xml, seeds[:n], 1, "serial") for n in (1, 4)}
+
+
+def serialized(artifact):
+    return json.dumps(grammar_to_dict(artifact.grammar), sort_keys=True)
+
+
+def assert_equivalent(actual, reference, resumed=False):
+    assert serialized(actual) == serialized(reference)
+    assert str(actual.grammar) == str(reference.grammar)
+    # Per-seed query stats and lifecycle states merge identically.
+    assert [s.queries for s in actual.seeds] == [
+        s.queries for s in reference.seeds
+    ]
+    assert [s.state for s in actual.seeds] == [
+        s.state for s in reference.seeds
+    ]
+    assert actual.oracle_queries == reference.oracle_queries
+    if resumed:
+        # The membership cache does not persist across restarts, so a
+        # resumed run may count a string once per process that queried
+        # it — an over-approximation, never an undercount.
+        assert actual.unique_queries >= reference.unique_queries
+    else:
+        assert actual.unique_queries == reference.unique_queries
+
+
+@pytest.mark.parametrize("n_seeds,backend,jobs", [
+    (1, "thread", 4),
+    (4, "thread", 2),
+    (4, "thread", 4),
+    (4, "process", 4),
+], ids=["thread-1seed", "thread-j2", "thread-j4", "process-j4"])
+def test_backends_match_serial(xml, seeds, serial_reference, n_seeds,
+                               backend, jobs):
+    reference = serial_reference[n_seeds]
+    actual = learn(xml, seeds[:n_seeds], jobs, backend)
+    assert actual.execution == {"backend": backend, "jobs": jobs}
+    assert_equivalent(actual, reference)
+
+
+def test_interrupted_parallel_run_resumes_to_identical_result(
+    xml, seeds, serial_reference
+):
+    """Mid-phase-1 crash under a parallel backend + ``resume`` at
+    jobs=4 reproduces the uninterrupted (serial) run exactly."""
+    store = MemoryCheckpointStore()
+    full = learn(xml, seeds, 2, "thread", store=store)
+    assert_equivalent(full, serial_reference[4])
+
+    # A checkpoint that is genuinely mid-phase-1: some seeds done on a
+    # worker (provisional "learned" state is allowed), some untouched.
+    snapshot = None
+    for index in range(len(store.snapshots)):
+        candidate = store.snapshot(index)
+        done = [
+            s for s in candidate.seeds
+            if s.state in (SEED_LEARNED, SEED_USED, SEED_SKIPPED)
+        ]
+        todo = [s for s in candidate.seeds if s.state == SEED_VALIDATED]
+        if done and todo:
+            snapshot = candidate
+            break
+    assert snapshot is not None, "no mid-phase-1 checkpoint recorded"
+
+    snapshot.config.jobs = 4  # resume at a different worker count
+    config = snapshot.config
+    resumed = LearningPipeline(xml.oracle, config=config).resume(snapshot)
+    assert_equivalent(resumed, serial_reference[4], resumed=True)
+    assert resumed.status == "complete"
+
+
+def ab_oracle(text):
+    """Accepts any string over {a, b} (module-level: picklable)."""
+    return set(text) <= set("ab")
+
+
+def test_speculative_queries_reported_not_counted():
+    """A parallel run learns covered seeds speculatively; the §6.1
+    filter discards them and their cost moves to
+    ``speculative_queries``, keeping counted metrics serial-equal."""
+    oracle = ab_oracle
+    config = GladeConfig(alphabet="ab", enable_chargen=False)
+    serial = LearningPipeline(oracle, config=config).run(["ab", "abab"])
+    assert serial.seeds[1].state == SEED_SKIPPED
+    assert serial.speculative_queries == 0  # never learned at all
+
+    parallel_config = GladeConfig(
+        alphabet="ab", enable_chargen=False, jobs=2, backend="thread"
+    )
+    parallel = LearningPipeline(oracle, config=parallel_config).run(
+        ["ab", "abab"]
+    )
+    assert parallel.seeds[1].state == SEED_SKIPPED
+    assert parallel.seeds[1].queries == 0
+    assert parallel.speculative_queries > 0
+    assert parallel.oracle_queries == serial.oracle_queries
+    assert parallel.unique_queries == serial.unique_queries
+    assert str(parallel.grammar) == str(serial.grammar)

@@ -74,16 +74,6 @@ class TestGeneration:
 class TestFromArtifact:
     """§7: fuzzing consumes the persisted learning artifact directly."""
 
-    @pytest.fixture(autouse=True)
-    def preserve_star_counter(self):
-        # Learning runs here consume global star ids; restore the
-        # counter so later counter-sensitive tests are unaffected.
-        from repro.core import gtree
-
-        saved = gtree._star_counter.next_id
-        yield
-        gtree._star_counter.next_id = saved
-
     def make_artifact(self, tmp_path):
         from repro.artifacts import MemoryCheckpointStore, save_artifact
         from repro.core.glade import GladeConfig

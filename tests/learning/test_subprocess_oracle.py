@@ -92,6 +92,35 @@ class TestSubprocessOracle:
             assert oracle.query_many(["aa", "bc"]) == [True, False]
         assert oracle._pool is None
 
+    def test_successive_batches_share_one_pool(self):
+        # Regression: the lazily created pool must be reused across
+        # batches, not rebuilt per batch (the learner issues thousands
+        # of small batches; per-batch pool setup would dominate).
+        oracle = _oracle(max_workers=2)
+        assert oracle._pool is None  # created lazily, not in __init__
+        assert oracle.query_many(["aa", "bc"]) == [True, False]
+        first_pool = oracle._pool
+        assert first_pool is not None
+        assert oracle.query_many(["a", "aaa"]) == [True, True]
+        assert oracle._pool is first_pool
+        oracle.close()
+
+    def test_pickle_roundtrip_drops_pool(self):
+        # Process-backend workers receive a pickled copy; the thread
+        # pool is process-local state and must not travel with it.
+        import pickle
+
+        oracle = _oracle(max_workers=2)
+        assert oracle.query_many(["aa", "bc"]) == [True, False]
+        assert oracle._pool is not None
+        clone = pickle.loads(pickle.dumps(oracle))
+        assert clone._pool is None
+        assert clone.max_workers == 2
+        assert clone("aa") and not clone("bc")
+        assert clone.query_many(["a", "c"]) == [True, False]
+        clone.close()
+        oracle.close()
+
 
 class TestCLI:
     def test_learn_from_inline_seed(self, capsys, tmp_path):
