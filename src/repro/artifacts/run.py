@@ -96,6 +96,13 @@ class RunArtifact:
     #: Resolved execution backend + worker count of the (last) phase-1
     #: run, e.g. ``{"backend": "process", "jobs": 4}``.
     execution: Dict[str, Any] = field(default_factory=dict)
+    #: Phase-2 execution record and committed-pair progress (schema
+    #: v3): ``backend``/``jobs`` of the (last) phase-2 run, ``pairs``
+    #: (the plan's total), and ``decisions`` — one ``merged`` /
+    #: ``rejected`` / ``skipped`` entry per committed pair, in plan
+    #: order. Replaying the decisions against the (deterministic) plan
+    #: resumes phase 2 from the last committed pair with zero queries.
+    phase2_progress: Dict[str, Any] = field(default_factory=dict)
     #: Per-stage wall-clock seconds, accumulated across resumes.
     timings: Dict[str, float] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -181,6 +188,7 @@ class RunArtifact:
             "unique_queries": self.unique_queries,
             "speculative_queries": self.speculative_queries,
             "execution": dict(self.execution),
+            "phase2_progress": _copy_progress(self.phase2_progress),
             "timings": dict(self.timings),
         }
 
@@ -199,6 +207,14 @@ class RunArtifact:
             # strictly sequential, so results parallel the "used"
             # seeds in order.
             data = _upgrade_v1(data)
+            version = 2
+        if version == 2:
+            # v2 → v3 adds only the optional ``phase2_progress`` record.
+            # A v2 checkpoint either finished phase 2 (stage beyond it)
+            # or never started it (v2 builds checkpointed phase 2 only
+            # on stage completion), so an empty progress record is
+            # exactly right: resume re-runs the stage from its start.
+            data = dict(data, schema_version=SCHEMA_VERSION)
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ArtifactError(
@@ -236,6 +252,9 @@ class RunArtifact:
                 unique_queries=data["unique_queries"],
                 speculative_queries=data.get("speculative_queries", 0),
                 execution=dict(data.get("execution") or {}),
+                phase2_progress=_copy_progress(
+                    data.get("phase2_progress") or {}
+                ),
                 timings=dict(data["timings"]),
                 schema_version=version,
             )
@@ -268,12 +287,24 @@ def _upgrade_v1(data: Dict[str, Any]) -> Dict[str, Any]:
             "v1 artifact has {} phase-1 results for {} used seeds; "
             "cannot upgrade".format(len(results), len(used))
         )
-    upgraded["schema_version"] = SCHEMA_VERSION
+    upgraded["schema_version"] = 2
     upgraded["phase1_results"] = [
         dict(result, seed_index=seed_index)
         for seed_index, result in zip(used, results)
     ]
     return upgraded
+
+
+def _copy_progress(progress: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy a phase-2 progress record, snapshotting the decision list.
+
+    The pipeline keeps the committer's live decision list in the
+    artifact while the stage runs; serialization must not alias it.
+    """
+    copied = dict(progress)
+    if "decisions" in copied:
+        copied["decisions"] = list(copied["decisions"])
+    return copied
 
 
 def save_artifact(

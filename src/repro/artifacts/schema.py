@@ -57,7 +57,12 @@ from repro.languages.cfg import (
 #: ``execution`` (backend + worker count) and ``speculative_queries``
 #: fields, the ``learned`` provisional seed state, and ``jobs`` /
 #: ``backend`` in the config.
-SCHEMA_VERSION = 2
+#: v3: run-level ``phase2_progress`` — the phase-2 execution record
+#: (backend + worker count + pair totals) and the committed-pair
+#: decision log (``merged`` / ``rejected`` / ``skipped`` per pair, in
+#: plan order), which lets an interrupted run resume phase 2 from the
+#: last committed pair instead of restarting the stage.
+SCHEMA_VERSION = 3
 
 
 class ArtifactError(ValueError):

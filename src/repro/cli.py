@@ -276,9 +276,10 @@ def main(argv=None) -> int:
     )
     learn.add_argument(
         "--jobs", type=int, default=1,
-        help="parallel workers for seed-sharded phase 1; the learned "
-        "grammar is byte-identical at any job count (jobs > 1 trades "
-        "speculative oracle work for wall-clock on multi-seed runs)",
+        help="parallel workers for seed-sharded phase 1 and "
+        "pair-sharded phase 2; the learned grammar and counted query "
+        "totals are identical at any job count (jobs > 1 trades "
+        "speculative oracle work for wall-clock)",
     )
     learn.add_argument(
         "--backend", default="auto",
@@ -303,8 +304,10 @@ def main(argv=None) -> int:
     )
     resume.add_argument(
         "--jobs", type=int, default=None,
-        help="override the artifact's phase-1 worker count (safe: the "
-        "grammar is byte-identical at any job count)",
+        help="override the artifact's worker count for phase 1 and "
+        "phase 2 (safe: the grammar is byte-identical at any job "
+        "count, and mid-phase-2 checkpoints resume from the last "
+        "committed pair)",
     )
     resume.add_argument(
         "--backend", default=None,

@@ -27,6 +27,27 @@ monotone). Each pair is considered exactly once. Merging is what lets
 GLADE express the generalized matching-parentheses grammars of
 Definition 5.2 — e.g. turning the XML example's
 ``(<a>(h+i)*</a>)*`` into ``A → (<a>A</a>)* | (h+i)*``.
+
+Execution is split into a *plan* and a *commit* so the phase can run
+serially or sharded across workers with identical results:
+
+- :func:`plan_merges` is the oracle-free query planner. It samples each
+  star's residuals exactly once (they used to be re-sampled for every
+  partner) and materializes every pair's check strings up front, in the
+  deterministic merge order.
+- :class:`MergeCommitter` applies pair verdicts strictly in plan order
+  (the *wavefront*). A pair whose stars are already transitively
+  equated at commit time is discarded exactly like the serial loop's
+  ``uf.find`` skip — however its checks were evaluated, and on whatever
+  worker. Because commits are in-order and check verdicts are
+  deterministic, the merge outcome — and the counted query cost — is
+  identical at any worker count.
+
+The committer's per-pair decisions (``merged`` / ``rejected`` /
+``skipped``) double as the phase's checkpoint format: replaying them
+against the same plan restores the union-find mid-phase, so an
+interrupted run resumes from the last committed pair (see
+:mod:`repro.core.pipeline` and artifact schema v3).
 """
 
 from __future__ import annotations
@@ -41,7 +62,12 @@ from repro.core.translate import star_nonterminal
 from repro.languages import regex as rx
 from repro.languages.cfg import Grammar, Nonterminal
 from repro.languages.sampler import sample_regex
-from repro.learning.oracle import Oracle, query_all
+from repro.learning.oracle import Oracle, query_all, text_digest
+
+#: Committed-pair decision codes (artifact schema v3 stores these).
+PAIR_MERGED = "merged"
+PAIR_REJECTED = "rejected"
+PAIR_SKIPPED = "skipped"
 
 
 @dataclass
@@ -175,12 +201,28 @@ def merge_checks(
     ``mixed=False`` with ``n_samples=0`` gives the paper's literal two
     checks (used by the merge-check ablation bench). ``seed_i`` /
     ``seed_j`` are the stars' run-local residual-sampling seeds;
-    :func:`merge_repetitions` passes each star's
-    :func:`residual_seed` at its merge-order index, direct callers get
-    the index-0 default.
+    :func:`plan_merges` passes each star's :func:`residual_seed` at its
+    merge-order index, direct callers get the index-0 default.
     """
-    res_i = _star_residuals(star_i, n_samples, seed_i)
-    res_j = _star_residuals(star_j, n_samples, seed_j)
+    return _checks_from_residuals(
+        star_i,
+        star_j,
+        _star_residuals(star_i, n_samples, seed_i),
+        _star_residuals(star_j, n_samples, seed_j),
+        mixed=mixed,
+        n_samples=n_samples,
+    )
+
+
+def _checks_from_residuals(
+    star_i: GStar,
+    star_j: GStar,
+    res_i: Sequence[str],
+    res_j: Sequence[str],
+    mixed: bool,
+    n_samples: int,
+) -> Tuple[str, ...]:
+    """Assemble one pair's check strings from precomputed residuals."""
     checks = []
     # Paper checks: the other star's doubled residuals in each context.
     for r in res_j:
@@ -205,6 +247,265 @@ def merge_checks(
     return tuple(unique)
 
 
+@dataclass(frozen=True)
+class MergePair:
+    """One merge candidate in plan order, with its precomputed checks."""
+
+    index: int
+    star_i: int
+    star_j: int
+    checks: Tuple[str, ...]
+
+
+@dataclass
+class MergePlan:
+    """The oracle-free plan for one phase-2 run.
+
+    ``ids`` is the deterministic merge order (sorted star ids),
+    ``residuals`` each star's residual samples — computed exactly once
+    per star — and ``pairs`` every unordered candidate pair with its
+    check strings materialized. The plan is a pure function of the
+    stars, so a resumed run rebuilds the identical plan and can replay
+    committed decisions against it.
+    """
+
+    ids: List[int]
+    pairs: List[MergePair]
+    residuals: Dict[int, List[str]]
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self.pairs)
+
+    def distinct_checks(self) -> int:
+        """Distinct check strings across all pairs (the dedup headroom:
+        ``sum(len(p.checks))`` minus this is what a per-pair evaluator
+        would re-query)."""
+        distinct = set()
+        for pair in self.pairs:
+            distinct.update(pair.checks)
+        return len(distinct)
+
+
+def plan_merges(
+    stars: Sequence[GStar],
+    mixed: bool = True,
+    n_samples: int = 2,
+) -> MergePlan:
+    """Plan every pair's checks, sampling each star's residuals once.
+
+    Residual seeds keep :func:`residual_seed` semantics (star rep
+    string ⊕ merge-order index), so the sampled residuals — and hence
+    every check string — are byte-identical to the historical per-pair
+    sampling path.
+    """
+    ids = sorted(star.star_id for star in stars)
+    by_id = {star.star_id: star for star in stars}
+    residuals = {
+        star_id: _star_residuals(
+            by_id[star_id], n_samples, residual_seed(by_id[star_id], position)
+        )
+        for position, star_id in enumerate(ids)
+    }
+    pairs: List[MergePair] = []
+    for position, i in enumerate(ids):
+        for j in ids[position + 1 :]:
+            pairs.append(
+                MergePair(
+                    index=len(pairs),
+                    star_i=i,
+                    star_j=j,
+                    checks=_checks_from_residuals(
+                        by_id[i],
+                        by_id[j],
+                        residuals[i],
+                        residuals[j],
+                        mixed=mixed,
+                        n_samples=n_samples,
+                    ),
+                )
+            )
+    return MergePlan(ids=ids, pairs=pairs, residuals=residuals)
+
+
+@dataclass
+class CommitEvent:
+    """What committing one pair did, for accounting and checkpoints.
+
+    ``queries``/``digests`` are the pair's *counted* cost under the
+    serial accounting rules (only set on the parallel path — the serial
+    path counts through the oracle stack itself); ``discarded`` is the
+    speculative cost of an evaluated pair the wavefront skipped at
+    commit time.
+    """
+
+    pair: MergePair
+    decision: str
+    queries: int = 0
+    digests: Tuple[int, ...] = ()
+    discarded: int = 0
+
+    @property
+    def evaluated(self) -> bool:
+        return self.decision != PAIR_SKIPPED
+
+
+class MergeCommitter:
+    """Apply pair verdicts strictly in plan order (the wavefront).
+
+    The committer owns the union-find and the decision log. Verdicts
+    may be produced out of order by parallel workers; callers commit
+    them in plan order via :meth:`commit_outcome` (or
+    :meth:`commit_serial`, which evaluates inline through an oracle
+    stack). A pair already transitively equated when its turn comes is
+    committed as ``skipped`` — evaluated or not — which is exactly the
+    serial loop's ``uf.find`` skip, so the merge outcome is independent
+    of how (and how speculatively) checks were evaluated.
+
+    ``concurrent`` mirrors the oracle stack's batching semantics into
+    the counted-cost rule: a sequential stack short-circuits a pair's
+    checks at the first rejection (counted = evaluated prefix), a
+    concurrent stack is handed every check as one batch (counted = all
+    checks). ``decisions`` is the durable progress record;
+    :meth:`replay` restores a committer from it without re-issuing a
+    single query.
+    """
+
+    def __init__(
+        self,
+        plan: MergePlan,
+        record_trace: bool = False,
+        concurrent: bool = False,
+    ):
+        self.plan = plan
+        self.record_trace = record_trace
+        self.concurrent = concurrent
+        self.decisions: List[str] = []
+        self.records: List[MergeRecord] = []
+        self._uf = _UnionFind(plan.ids)
+
+    @property
+    def committed(self) -> int:
+        """Pairs committed so far; also the next pair's plan index."""
+        return len(self.decisions)
+
+    @property
+    def done(self) -> bool:
+        return self.committed >= self.plan.n_pairs
+
+    def equated(self, star_i: int, star_j: int) -> bool:
+        """True if the two stars are already transitively merged."""
+        return self._uf.find(star_i) == self._uf.find(star_j)
+
+    def next_pair(self) -> MergePair:
+        return self.plan.pairs[self.committed]
+
+    def next_is_skip(self) -> bool:
+        pair = self.next_pair()
+        return self.equated(pair.star_i, pair.star_j)
+
+    def _apply(self, pair: MergePair, decision: str) -> None:
+        if decision == PAIR_MERGED:
+            self._uf.union(pair.star_i, pair.star_j)
+        self.decisions.append(decision)
+        if self.record_trace and decision != PAIR_SKIPPED:
+            self.records.append(
+                MergeRecord(
+                    star_i=pair.star_i,
+                    star_j=pair.star_j,
+                    checks=pair.checks,
+                    merged=decision == PAIR_MERGED,
+                )
+            )
+
+    def replay(self, decisions: Sequence[str]) -> None:
+        """Restore committed progress from a checkpoint's decision log.
+
+        Replay is oracle-free: merges re-apply to the union-find and
+        trace records are rebuilt from the (deterministic) plan.
+        """
+        if len(decisions) > self.plan.n_pairs - self.committed:
+            raise ValueError(
+                "phase-2 progress records {} decisions for {} pairs".format(
+                    len(decisions), self.plan.n_pairs
+                )
+            )
+        for decision in decisions:
+            if decision not in (PAIR_MERGED, PAIR_REJECTED, PAIR_SKIPPED):
+                raise ValueError(
+                    "unknown phase-2 decision: {!r}".format(decision)
+                )
+            self._apply(self.next_pair(), decision)
+
+    def commit_skip(self) -> CommitEvent:
+        """Commit the next pair as transitively-equated (no queries)."""
+        pair = self.next_pair()
+        self._apply(pair, PAIR_SKIPPED)
+        return CommitEvent(pair=pair, decision=PAIR_SKIPPED)
+
+    def commit_serial(self, oracle: Oracle) -> CommitEvent:
+        """Evaluate and commit the next pair inline through ``oracle``.
+
+        This is the historical serial loop, one pair at a time: skipped
+        pairs cost nothing, evaluated pairs issue their checks through
+        the oracle stack (which does its own counting/caching, with
+        short-circuit or batch semantics per its ``concurrent`` flag).
+        """
+        pair = self.next_pair()
+        if self.equated(pair.star_i, pair.star_j):
+            self._apply(pair, PAIR_SKIPPED)
+            return CommitEvent(pair=pair, decision=PAIR_SKIPPED)
+        merged = query_all(oracle, pair.checks)
+        decision = PAIR_MERGED if merged else PAIR_REJECTED
+        self._apply(pair, decision)
+        return CommitEvent(pair=pair, decision=decision)
+
+    def commit_outcome(self, verdicts: Sequence[bool]) -> CommitEvent:
+        """Commit the next pair from worker-evaluated check verdicts.
+
+        ``verdicts`` parallels the pair's checks, truncated at the
+        first rejection under sequential (short-circuit) semantics —
+        its length is therefore the pair's counted query cost, and the
+        matching check prefix its counted distinct strings. If the pair
+        turned out transitively equated, the whole cost is discarded to
+        the speculative bucket instead (a serial run never evaluates
+        such pairs).
+        """
+        pair = self.next_pair()
+        counted = len(verdicts)
+        if self.equated(pair.star_i, pair.star_j):
+            self._apply(pair, PAIR_SKIPPED)
+            return CommitEvent(
+                pair=pair, decision=PAIR_SKIPPED, discarded=counted
+            )
+        merged = counted == len(pair.checks) and all(verdicts)
+        decision = PAIR_MERGED if merged else PAIR_REJECTED
+        self._apply(pair, decision)
+        return CommitEvent(
+            pair=pair,
+            decision=decision,
+            queries=counted,
+            digests=tuple(text_digest(c) for c in pair.checks[:counted]),
+        )
+
+    def finish(self, grammar: Grammar) -> Phase2Result:
+        """Equate merged nonterminals and wrap up the phase."""
+        representative = {i: self._uf.find(i) for i in self.plan.ids}
+        mapping: Dict[Nonterminal, Nonterminal] = {
+            star_nonterminal(i): star_nonterminal(rep)
+            for i, rep in representative.items()
+            if rep != i
+        }
+        merged_grammar = (
+            grammar.rename_nonterminals(mapping) if mapping else grammar
+        )
+        return Phase2Result(
+            grammar=merged_grammar,
+            representative=representative,
+            records=self.records,
+        )
+
+
 def merge_repetitions(
     grammar: Grammar,
     stars: Sequence[GStar],
@@ -212,55 +513,13 @@ def merge_repetitions(
     record_trace: bool = False,
     mixed_checks: bool = True,
 ) -> Phase2Result:
-    """Run phase two: try every pair of stars, equate those that check out."""
-    result = Phase2Result(grammar=grammar, representative={})
-    ids = sorted(star.star_id for star in stars)
-    by_id = {star.star_id: star for star in stars}
-    # Run-local residual seeds: each star is keyed by its representative
-    # string and its position in the (deterministic) merge order.
-    seed_of = {
-        star_id: residual_seed(by_id[star_id], position)
-        for position, star_id in enumerate(ids)
-    }
-    uf = _UnionFind(ids)
-    for index, i in enumerate(ids):
-        for j in ids[index + 1 :]:
-            if uf.find(i) == uf.find(j):
-                # Already equated transitively; the pair is still removed
-                # from M (each candidate considered at most once).
-                continue
-            checks = merge_checks(
-                by_id[i],
-                by_id[j],
-                mixed=mixed_checks,
-                n_samples=2 if mixed_checks else 0,
-                seed_i=seed_of[i],
-                seed_j=seed_of[j],
-            )
-            # The pair's checks are independent: a concurrent oracle
-            # stack answers them as one batch, a sequential one keeps
-            # the short-circuit (stop at the first rejection).
-            merged = query_all(oracle, checks)
-            if merged:
-                uf.union(i, j)
-            if record_trace:
-                result.records.append(
-                    MergeRecord(
-                        star_i=i,
-                        star_j=j,
-                        checks=checks,
-                        merged=merged,
-                    )
-                )
-    representative = {i: uf.find(i) for i in ids}
-    mapping: Dict[Nonterminal, Nonterminal] = {
-        star_nonterminal(i): star_nonterminal(rep)
-        for i, rep in representative.items()
-        if rep != i
-    }
-    merged_grammar = (
-        grammar.rename_nonterminals(mapping) if mapping else grammar
+    """Run phase two serially: try every pair, equate those that check out."""
+    plan = plan_merges(
+        stars,
+        mixed=mixed_checks,
+        n_samples=2 if mixed_checks else 0,
     )
-    result.grammar = merged_grammar
-    result.representative = representative
-    return result
+    committer = MergeCommitter(plan, record_trace=record_trace)
+    while not committer.done:
+        committer.commit_serial(oracle)
+    return committer.finish(grammar)

@@ -20,15 +20,27 @@ speculative queries are excluded from ``oracle_queries`` (and reported
 as ``speculative_queries``), which keeps counted metrics identical to a
 serial run.
 
-After every completed stage — and after *every seed* inside phase one —
-the pipeline writes the full :class:`~repro.artifacts.run.RunArtifact`
-through its :class:`~repro.artifacts.store.CheckpointStore`. A crashed
-or killed run resumes from the last checkpoint: learned trees are
-rehydrated from the artifact, finished seeds are never re-learned, and
-no oracle query is re-issued for checkpointed work. Because every stage
-is deterministic given the oracle's answers (star ids come from
-per-seed blocks and phase-two residual sampling is seeded run-locally,
-see :func:`repro.core.phase2.residual_seed`), a resumed run — at any
+Phase two is *pair-sharded* on the same backends
+(:mod:`repro.exec.merge_shard`): merge-candidate pairs are planned up
+front (:func:`repro.core.phase2.plan_merges` samples each star's
+residuals once and dedupes check strings across pairs through a shared
+verdict table), evaluated speculatively on workers, and committed
+strictly in plan order — a pair transitively equated by the time it
+commits is discarded exactly like the serial loop's skip, with its
+cost routed to ``speculative_queries``. The same wavefront rule makes
+phase 2's grammar and counted metrics independent of the job count.
+
+After every completed stage — after *every seed* inside phase one, and
+after *every evaluated pair* inside phase two — the pipeline writes
+the full :class:`~repro.artifacts.run.RunArtifact` through its
+:class:`~repro.artifacts.store.CheckpointStore`. A crashed or killed
+run resumes from the last checkpoint: learned trees are rehydrated
+from the artifact, finished seeds are never re-learned, committed
+merge decisions are replayed rather than re-checked, and no oracle
+query is re-issued for checkpointed work. Because every stage is
+deterministic given the oracle's answers (star ids come from per-seed
+blocks and phase-two residual sampling is seeded run-locally, see
+:func:`repro.core.phase2.residual_seed`), a resumed run — at any
 worker count — produces a grammar byte-identical to an uninterrupted
 one, with the same accumulated query count.
 
@@ -57,12 +69,18 @@ from repro.artifacts.run import (
 from repro.artifacts.store import CheckpointStore, NullCheckpointStore
 from repro.core.glade import GladeConfig
 from repro.core.gtree import stars_of
-from repro.core.phase2 import merge_repetitions
+from repro.core.phase2 import MergeCommitter, plan_merges
 from repro.core.translate import translate_trees
 from repro.exec.backends import make_executor
+from repro.exec.merge_shard import run_merge_wavefront
 from repro.exec.shard import SeedResult, run_pending, seed_payload
 from repro.languages.engine import MembershipSession
-from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
+from repro.learning.oracle import (
+    CachingOracle,
+    CountingOracle,
+    Oracle,
+    supports_concurrency,
+)
 
 
 class SeedRejected(ValueError):
@@ -154,7 +172,7 @@ class LearningPipeline:
         base_queries = artifact.oracle_queries
         base_unique = artifact.unique_queries
 
-        state = _Phase1Accounting()
+        state = _RunAccounting()
 
         def checkpoint() -> None:
             artifact.oracle_queries = (
@@ -207,20 +225,22 @@ class LearningPipeline:
             checkpoint()
 
         if not artifact.stage_done("phase2"):
-            started = time.perf_counter()
-            if config.enable_phase2:
-                stars = [star for tree in trees for star in stars_of(tree)]
-                artifact.phase2_result = merge_repetitions(
-                    artifact.grammar,
-                    stars,
-                    counting,
-                    record_trace=config.record_trace,
-                    mixed_checks=config.mixed_merge_checks,
+            stage_started = time.perf_counter()
+            timing_base = artifact.timings.get("phase2", 0.0)
+
+            def phase2_checkpoint() -> None:
+                artifact.timings["phase2"] = timing_base + (
+                    time.perf_counter() - stage_started
                 )
-                artifact.grammar = artifact.phase2_result.grammar
+                checkpoint()
+
+            if config.enable_phase2:
+                self._run_phase2(
+                    artifact, config, trees, cached, counting, state,
+                    phase2_checkpoint,
+                )
             artifact.stage = "phase2"
-            add_timing("phase2", started)
-            checkpoint()
+            phase2_checkpoint()
 
         if not artifact.stage_done("finalize"):
             started = time.perf_counter()
@@ -239,7 +259,7 @@ class LearningPipeline:
         artifact: RunArtifact,
         config: GladeConfig,
         cached: CachingOracle,
-        state: "_Phase1Accounting",
+        state: "_RunAccounting",
         checkpoint,
     ) -> None:
         """Learn every validated seed on the configured backend, then
@@ -296,7 +316,7 @@ class LearningPipeline:
         artifact: RunArtifact,
         config: GladeConfig,
         session: MembershipSession,
-        state: "_Phase1Accounting",
+        state: "_RunAccounting",
         checkpoint,
         oracle,
         emit_pending: bool,
@@ -345,22 +365,101 @@ class LearningPipeline:
         self, artifact: RunArtifact, index: int, session: MembershipSession
     ) -> None:
         artifact.seeds[index].state = SEED_USED
-        regex = _Phase1Accounting.result_of(artifact, index)
+        regex = _RunAccounting.result_of(artifact, index)
         session.remember(regex)
 
+    # -- phase 2: pair-sharded wavefront execution -------------------------
 
-class _Phase1Accounting:
-    """Bookkeeping for sharded phase-1 results within one process.
+    def _run_phase2(
+        self,
+        artifact: RunArtifact,
+        config: GladeConfig,
+        trees,
+        cached: CachingOracle,
+        counting: CountingOracle,
+        state: "_RunAccounting",
+        checkpoint,
+    ) -> None:
+        """Merge repetitions on the configured backend, committing (and
+        checkpointing) pairs in plan order.
 
-    Tracks, per seed completed *this process*, the task's query count
-    and its digest set, so the artifact's totals can (a) exclude
-    speculative work the §6.1 filter discards and (b) count distinct
-    strings globally across shards (union of per-shard digest sets plus
-    the parent oracle's own)."""
+        The plan — residuals, pair order, check strings — is a pure
+        function of the learned trees, so a resumed run rebuilds it
+        identically and replays the artifact's committed decisions to
+        restore the union-find without a single query. The serial path
+        evaluates each pair inline through the parent oracle stack
+        (counting and caching exactly as the historical loop did); the
+        parallel path evaluates pairs speculatively on workers behind
+        the cross-pair query planner and accounts committed pairs'
+        counted cost analytically, so ``oracle_queries`` /
+        ``unique_queries`` equal a serial run's at any job count while
+        discarded speculation lands in ``speculative_queries``.
+        """
+        stars = [star for tree in trees for star in stars_of(tree)]
+        plan = plan_merges(
+            stars,
+            mixed=config.mixed_merge_checks,
+            n_samples=2 if config.mixed_merge_checks else 0,
+        )
+        committer = MergeCommitter(
+            plan,
+            record_trace=config.record_trace,
+            concurrent=supports_concurrency(self.oracle),
+        )
+        committer.replay(artifact.phase2_progress.get("decisions", ()))
+        executor = make_executor(
+            config.backend, max(1, config.jobs), self.oracle
+        )
+        # The committer's decision list is kept live in the artifact:
+        # every mid-phase checkpoint persists the commit frontier.
+        artifact.phase2_progress = {
+            "backend": executor.name,
+            "jobs": executor.jobs,
+            "pairs": plan.n_pairs,
+            "decisions": committer.decisions,
+        }
+        with executor:
+            if executor.name == "serial":
+                while not committer.done:
+                    event = committer.commit_serial(counting)
+                    if event.evaluated:
+                        checkpoint()
+            else:
+
+                def on_commit(event) -> None:
+                    if event.discarded:
+                        artifact.speculative_queries += event.discarded
+                    if event.queries:
+                        state.add_counted(event.queries, event.digests)
+                    if event.queries or event.discarded:
+                        checkpoint()
+
+                run_merge_wavefront(
+                    executor,
+                    plan,
+                    committer,
+                    self.oracle,
+                    known=cached.known_results(),
+                    on_commit=on_commit,
+                )
+        artifact.phase2_result = committer.finish(artifact.grammar)
+        artifact.grammar = artifact.phase2_result.grammar
+
+
+class _RunAccounting:
+    """Bookkeeping for sharded work done outside the parent oracle stack.
+
+    Tracks, per seed completed *this process*, the phase-1 task's query
+    count and its digest set — plus the counted cost of phase-2 pairs
+    committed from worker verdicts — so the artifact's totals can (a)
+    exclude speculative work the in-order filters discard and (b) count
+    distinct strings globally across shards (union of per-shard digest
+    sets plus the parent oracle's own)."""
 
     def __init__(self):
         self.queries_delta = 0
         self._digests: Dict[int, FrozenSet[int]] = {}
+        self._counted_digests: set = set()
 
     def absorb(self, artifact: RunArtifact, outcome: SeedResult) -> None:
         """Record a freshly completed seed task (any backend)."""
@@ -388,9 +487,22 @@ class _Phase1Accounting:
             r for r in artifact.phase1_results if r.seed_index != index
         ]
 
+    def add_counted(self, queries: int, digests: Sequence[int]) -> None:
+        """Absorb a committed phase-2 pair's counted cost.
+
+        Worker-evaluated pairs never touch the parent oracle stack, so
+        their serial-equivalent cost — derived by the committer from
+        the pair's verdicts — is added here: ``queries`` to the counted
+        total, ``digests`` (the counted check prefix) to the distinct
+        -string union. Discarded speculation never reaches this method.
+        """
+        self.queries_delta += queries
+        self._counted_digests.update(digests)
+
     def unique(self, parent_digests: FrozenSet[int]) -> int:
         """Distinct strings queried this process, across all shards."""
         union = set(parent_digests)
+        union.update(self._counted_digests)
         for digests in self._digests.values():
             union.update(digests)
         return len(union)

@@ -98,6 +98,27 @@ def summarize_artifact(artifact) -> str:
                 artifact.speculative_queries
             )
         lines.append(line)
+    if artifact.phase2_progress:
+        from repro.core.phase2 import (
+            PAIR_MERGED,
+            PAIR_REJECTED,
+            PAIR_SKIPPED,
+        )
+
+        progress = artifact.phase2_progress
+        decisions = progress.get("decisions", [])
+        lines.append(
+            "phase-2 execution: {} backend, {} job(s), {}/{} pairs "
+            "committed ({} merged, {} rejected, {} skipped)".format(
+                progress.get("backend", "?"),
+                progress.get("jobs", "?"),
+                len(decisions),
+                progress.get("pairs", "?"),
+                decisions.count(PAIR_MERGED),
+                decisions.count(PAIR_REJECTED),
+                decisions.count(PAIR_SKIPPED),
+            )
+        )
     lines.append("")
     lines.append(
         format_table(

@@ -1,13 +1,24 @@
-"""Parallel execution subsystem: pluggable backends + seed sharding.
+"""Parallel execution subsystem: pluggable backends + work sharding.
 
-The learning pipeline partitions per-seed phase-1 work into independent
-tasks (:mod:`repro.exec.shard`) and runs them on a pluggable
+The learning pipeline partitions its oracle-bound stages into
+independent tasks and runs them on a pluggable
 :class:`~repro.exec.backends.Executor` — serial, thread pool, or
 process pool — selected by ``GladeConfig.jobs`` / ``backend`` (CLI
-``--jobs`` / ``--backend``). Determinism is preserved at any worker
-count: star ids come from disjoint per-seed blocks, results merge in
-seed order, and phase-2 residual sampling is seeded run-locally, so
-``--jobs 1`` and ``--jobs 4`` produce byte-identical grammars.
+``--jobs`` / ``--backend``):
+
+- phase 1 is *seed-sharded* (:mod:`repro.exec.shard`): one task per
+  seed, merged deterministically in seed order;
+- phase 2 is *pair-sharded* (:mod:`repro.exec.merge_shard`): one task
+  per merge-candidate pair, evaluated speculatively behind a
+  cross-pair query planner and committed deterministically in plan
+  order (the wavefront).
+
+Determinism is preserved at any worker count: star ids come from
+disjoint per-seed blocks, phase-2 residual sampling is seeded
+run-locally, and both stages discard speculative work exactly where
+the sequential algorithm would never have spent it — so ``--jobs 1``
+and ``--jobs 4`` produce byte-identical grammars with equal counted
+query totals.
 """
 
 from repro.exec.backends import (
@@ -18,6 +29,14 @@ from repro.exec.backends import (
     ThreadExecutor,
     make_executor,
     resolve_backend,
+)
+from repro.exec.merge_shard import (
+    PairOutcome,
+    WavefrontStats,
+    decode_pair,
+    pair_payload,
+    run_merge_wavefront,
+    run_pair_task,
 )
 from repro.exec.shard import (
     SeedResult,
@@ -30,13 +49,19 @@ from repro.exec.shard import (
 __all__ = [
     "BACKENDS",
     "Executor",
+    "PairOutcome",
     "ProcessExecutor",
     "SeedResult",
     "SerialExecutor",
     "ThreadExecutor",
+    "WavefrontStats",
+    "decode_pair",
     "decode_task",
     "make_executor",
+    "pair_payload",
     "resolve_backend",
+    "run_merge_wavefront",
+    "run_pair_task",
     "run_pending",
     "run_seed_task",
     "seed_payload",

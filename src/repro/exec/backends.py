@@ -33,7 +33,15 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from typing import Any, Callable, Iterator, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 #: Backend names accepted by :func:`make_executor` / the CLI.
 BACKENDS = ("serial", "thread", "process")
@@ -46,6 +54,11 @@ class Executor:
     name: str = "?"
     #: Worker count, recorded in the run artifact.
     jobs: int = 1
+    #: True when workers share the parent's address space (tasks may
+    #: then be handed live objects; otherwise payloads are serialized,
+    #: possibly on a pool-internal thread, so they must be immutable
+    #: snapshots). The conservative default is False.
+    in_process: bool = False
 
     def unordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
@@ -57,6 +70,28 @@ class Executor:
         like calling ``fn`` inline. This matters for the oracle stack's
         control-flow exceptions (``OracleBudgetExceeded``,
         ``LearningTimeout``), which callers catch by type.
+        """
+        raise NotImplementedError
+
+    def unordered_stream(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Iterable[Any],
+        window: Optional[int] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Like :meth:`unordered`, but pull payloads lazily, bounded in
+        flight.
+
+        ``payloads`` may be a generator whose elements depend on
+        results the consumer has already received: at most ``window``
+        tasks are in flight at once, the iterator is advanced only when
+        a submission slot frees up, and it is advanced on the
+        *consumer's* thread — after the consumer has processed every
+        previously yielded result. This is what lets a scheduler make
+        submission decisions (skip a task, enrich its payload) from
+        state that earlier completions updated — the phase-2 merge
+        wavefront's reason for existing. The yielded index is the
+        payload's position in the stream (submission order).
         """
         raise NotImplementedError
 
@@ -75,12 +110,23 @@ class SerialExecutor(Executor):
 
     name = "serial"
     jobs = 1
+    in_process = True
 
     def unordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> Iterator[Tuple[int, Any]]:
         for index, payload in enumerate(payloads):
             yield index, fn(payload)
+
+    def unordered_stream(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Iterable[Any],
+        window: Optional[int] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        # Inline execution is already lazy and one-at-a-time, which is
+        # the strongest possible stream guarantee; ``window`` is moot.
+        return self.unordered(fn, payloads)
 
 
 class _PoolExecutor(Executor):
@@ -115,6 +161,51 @@ class _PoolExecutor(Executor):
             for future in pending:
                 future.cancel()
 
+    def unordered_stream(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Iterable[Any],
+        window: Optional[int] = None,
+    ) -> Iterator[Tuple[int, Any]]:
+        if window is None:
+            # Twice the worker count keeps every worker busy while the
+            # consumer processes a result, without racing far ahead of
+            # the in-order commit frontier (each in-flight task past
+            # the frontier is potential speculative waste).
+            window = 2 * self.jobs
+        window = max(1, window)
+        iterator = iter(payloads)
+        futures = {}
+        position = 0
+        exhausted = False
+
+        def top_up() -> None:
+            nonlocal position, exhausted
+            while not exhausted and len(futures) < window:
+                try:
+                    payload = next(iterator)
+                except StopIteration:
+                    exhausted = True
+                    break
+                futures[self._pool.submit(fn, payload)] = position
+                position += 1
+
+        try:
+            while True:
+                top_up()
+                if not futures:
+                    break
+                done, _pending = wait(futures, return_when=FIRST_COMPLETED)
+                # One result per iteration: the consumer's state must
+                # be able to influence the next submission, so already
+                # -done futures are re-drawn from ``wait`` (free) after
+                # the consumer has seen each predecessor.
+                future = done.pop()
+                yield futures.pop(future), future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
     def close(self) -> None:
         self._pool.shutdown(wait=True)
 
@@ -123,6 +214,7 @@ class ThreadExecutor(_PoolExecutor):
     """Run tasks on a thread pool (oracle object shared across tasks)."""
 
     name = "thread"
+    in_process = True
 
     def _make_pool(self, jobs: int):
         return ThreadPoolExecutor(

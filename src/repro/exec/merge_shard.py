@@ -1,0 +1,297 @@
+"""Pair-sharded phase 2: speculative check tasks, in-order commits.
+
+Phase 2 (:mod:`repro.core.phase2`) considers every unordered pair of
+repetition nodes, so its oracle cost is quadratic in star count — and
+after seed-sharded phase 1, it was the last serial oracle-bound stage.
+This module runs it on the same :class:`~repro.exec.backends.Executor`
+backends:
+
+- each *pair task* evaluates one candidate pair's §5.3 + mixed
+  -adjacency checks, self-contained and picklable: the pair's check
+  strings, the base oracle, and a read-only snapshot of the *known
+  -verdict table* — the cross-pair query planner's dedup structure.
+  A check string any earlier task (or the parent's membership cache)
+  already answered never reaches the oracle again; fresh verdicts
+  travel back and widen the table for later submissions.
+- tasks run speculatively: a pair is submitted before earlier pairs
+  have committed, so its stars may turn out transitively equated by
+  the time its turn comes. :func:`run_merge_wavefront` commits
+  results strictly in plan order through a
+  :class:`~repro.core.phase2.MergeCommitter`, which discards such
+  pairs exactly like the serial loop's ``uf.find`` skip — their cost
+  is reported as speculative, and counted query totals stay equal to
+  a serial run's.
+- evaluation semantics mirror the oracle stack's: a sequential stack
+  short-circuits a pair's checks at the first rejection (workers stop
+  there too, so the evaluated prefix *is* the counted prefix), while
+  a concurrent stack takes each pair's checks as one batch.
+
+The division of labor with the pipeline: this module owns scheduling
+(lazy submission through ``unordered_stream``, the known-verdict
+table, completion buffering); the committer owns ordering, decisions
+and counted-cost accounting; the pipeline persists each commit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.core.phase2 import (
+    PAIR_SKIPPED,
+    CommitEvent,
+    MergeCommitter,
+    MergePair,
+    MergePlan,
+)
+from repro.exec.backends import Executor
+from repro.learning.oracle import Oracle, query_many
+
+
+@dataclass
+class PairOutcome:
+    """One pair task's result, decoded on the parent side.
+
+    ``verdicts`` parallels the pair's checks, truncated at the first
+    rejection under sequential semantics; ``learned`` holds the
+    verdicts this task had to evaluate itself (its contribution to the
+    known-verdict table); ``invocations`` counts base-oracle calls the
+    task actually performed (the planner's work metric — *not* the
+    counted query cost, which the committer derives from ``verdicts``).
+    """
+
+    index: int
+    verdicts: Tuple[bool, ...]
+    learned: Dict[str, bool]
+    invocations: int
+    seconds: float
+
+
+def pair_payload(
+    pair: MergePair,
+    oracle: Oracle,
+    known: Dict[str, bool],
+    concurrent: bool,
+) -> Dict[str, Any]:
+    """The task payload for one merge-candidate pair.
+
+    ``known`` is the planner's verdict table view for this task.
+    In-process executors are handed the live table — workers publish
+    fresh verdicts into it as they are produced, so *concurrently
+    running* pair tasks dedupe against each other, not just against
+    completed ones. Out-of-process executors get a per-pair snapshot
+    filtered to the pair's own check strings (built on the consumer
+    thread — a live dict must never cross a serialization boundary,
+    since process pools pickle queued payloads on an internal thread
+    while the consumer keeps extending the table); their workers'
+    writes stay local and reach the parent (and later submissions)
+    through the returned ``learned`` dict. Entries are only ever
+    added, and a racing double-evaluation of the same string yields
+    the same verdict (the oracle is a pure function), so sharing is
+    benign.
+    """
+    return {
+        "index": pair.index,
+        "checks": pair.checks,
+        "oracle": oracle,
+        "known": known,
+        "concurrent": concurrent,
+    }
+
+
+def run_pair_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one pair's checks against the oracle (worker entry).
+
+    Module-level so process pools can pickle it by reference. Verdicts
+    for strings in the known table are reused without touching the
+    oracle; sequential mode stops at the first rejection exactly like
+    :func:`~repro.learning.oracle.query_all` over a sequential stack,
+    concurrent mode batches every unknown check at once.
+    """
+    checks: Tuple[str, ...] = payload["checks"]
+    known: Dict[str, bool] = payload["known"]
+    oracle: Oracle = payload["oracle"]
+    started = time.perf_counter()
+    learned: Dict[str, bool] = {}
+    invocations = 0
+    verdicts = []
+    if payload["concurrent"]:
+        unknown = [c for c in dict.fromkeys(checks) if c not in known]
+        if unknown:
+            answers = query_many(oracle, unknown)
+            learned.update(zip(unknown, (bool(a) for a in answers)))
+            known.update(learned)  # publish to concurrent siblings
+            invocations += len(unknown)
+        for check in checks:
+            cached = learned.get(check)
+            verdicts.append(cached if cached is not None else known[check])
+    else:
+        for check in checks:
+            verdict = known.get(check)
+            if verdict is None:
+                verdict = learned.get(check)
+            if verdict is None:
+                verdict = bool(oracle(check))
+                learned[check] = verdict
+                known[check] = verdict  # publish to concurrent siblings
+                invocations += 1
+            verdicts.append(verdict)
+            if not verdict:
+                break
+    return {
+        "index": payload["index"],
+        "verdicts": tuple(verdicts),
+        "learned": learned,
+        "invocations": invocations,
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def decode_pair(raw: Dict[str, Any]) -> PairOutcome:
+    """Decode a worker's wire-format result."""
+    return PairOutcome(
+        index=raw["index"],
+        verdicts=tuple(raw["verdicts"]),
+        learned=dict(raw["learned"]),
+        invocations=raw["invocations"],
+        seconds=raw["seconds"],
+    )
+
+
+@dataclass
+class WavefrontStats:
+    """Aggregate execution report for one wavefront run.
+
+    ``counted_queries`` is deterministic at any job count (it follows
+    from the plan and the oracle's verdicts — the committer's serial
+    accounting rules). The speculation metrics report work actually
+    performed and therefore depend on completion timing: how many
+    pairs were submitted before the commits that made them redundant
+    landed (``speculative_queries``/``pairs_discarded``), and how
+    often the planner table absorbed a check (``invocations`` /
+    ``table_hits``).
+    """
+
+    counted_queries: int = 0
+    speculative_queries: int = 0
+    invocations: int = 0
+    table_hits: int = 0
+    pairs_evaluated: int = 0
+    pairs_discarded: int = 0
+    seconds: float = field(default=0.0)
+
+
+def run_merge_wavefront(
+    executor: Executor,
+    plan: MergePlan,
+    committer: MergeCommitter,
+    oracle: Oracle,
+    known: Optional[Dict[str, bool]] = None,
+    dedup: bool = True,
+    window: Optional[int] = None,
+    on_commit: Optional[Callable[..., None]] = None,
+) -> WavefrontStats:
+    """Drive phase 2's remaining pairs through an executor.
+
+    Submission is lazy and committed-state-aware: a pair whose stars
+    are already equated when its payload would be pulled is never
+    submitted (it will commit as skipped for free), and each submitted
+    payload carries the verdict table as of submission. Commits happen
+    in plan order as soon as the frontier pair's outcome is available,
+    invoking ``on_commit(event)`` for every committed pair — the
+    pipeline's checkpoint hook. A pair committed as skipped *before*
+    its in-flight speculative result lands produces one extra
+    cost-only event on arrival (``discarded`` set, decision log
+    untouched), so discarded work is always booked rather than
+    depending on which side of the commit frontier the result landed.
+    ``known`` seeds the verdict table
+    (e.g. from the parent's membership cache); ``dedup=False`` disables
+    the planner table entirely, which is the naive per-pair sharding
+    baseline the benchmark compares against.
+    """
+    table: Dict[str, bool] = known if dedup and known is not None else {}
+    stats = WavefrontStats()
+    started = time.perf_counter()
+    outcomes: Dict[int, PairOutcome] = {}
+
+    def emit(event) -> None:
+        stats.counted_queries += event.queries
+        stats.speculative_queries += event.discarded
+        if event.discarded:
+            stats.pairs_discarded += 1
+        elif event.evaluated:
+            stats.pairs_evaluated += 1
+        if on_commit is not None:
+            on_commit(event)
+
+    def drain() -> None:
+        """Advance the commit frontier as far as outcomes allow."""
+        while not committer.done:
+            if committer.committed in outcomes:
+                # An evaluated outcome commits through the committer
+                # even if the pair has since become transitively
+                # equated — that path books its cost as speculative.
+                outcome = outcomes.pop(committer.committed)
+                emit(committer.commit_outcome(outcome.verdicts))
+            elif committer.next_is_skip():
+                emit(committer.commit_skip())
+            else:
+                break
+
+    def payloads() -> Iterator[Dict[str, Any]]:
+        # Pulled lazily by the executor, on this thread, between
+        # results — so both the skip test and the table view see
+        # every commit and every completed task so far.
+        for pair in plan.pairs[committer.committed:]:
+            if committer.equated(pair.star_i, pair.star_j):
+                continue
+            if not dedup:
+                view: Dict[str, bool] = {}
+            elif executor.in_process:
+                view = table
+            else:
+                # Snapshot just this pair's relevant verdicts: cheap
+                # (O(checks), not O(table)) and safe to serialize.
+                view = {
+                    check: table[check]
+                    for check in pair.checks
+                    if check in table
+                }
+            yield pair_payload(
+                pair, oracle, view, concurrent=committer.concurrent
+            )
+
+    drain()
+    for _position, raw in executor.unordered_stream(
+        run_pair_task, payloads(), window=window
+    ):
+        outcome = decode_pair(raw)
+        stats.invocations += outcome.invocations
+        stats.table_hits += len(outcome.verdicts) - outcome.invocations
+        if dedup:
+            table.update(outcome.learned)
+        if outcome.index < committer.committed:
+            # The pair already committed as transitively skipped while
+            # this task was still in flight. Its work is speculation
+            # all the same: book it (a cost-only event — the decision
+            # log is untouched) instead of stranding the outcome.
+            emit(
+                CommitEvent(
+                    pair=plan.pairs[outcome.index],
+                    decision=PAIR_SKIPPED,
+                    discarded=len(outcome.verdicts),
+                )
+            )
+        else:
+            outcomes[outcome.index] = outcome
+        drain()
+    drain()
+    if not committer.done:
+        raise AssertionError(
+            "wavefront ended with {} of {} pairs committed".format(
+                committer.committed, plan.n_pairs
+            )
+        )
+    stats.seconds = time.perf_counter() - started
+    return stats

@@ -174,6 +174,10 @@ class ComposedNFA:
         self._accepting: List[bool] = []
         self._moves: Dict[Tuple[int, str], int] = {}
         self._start_id: Optional[int] = None
+        # The start closure is kept even when set-interning overflows
+        # (``_start_id == -2``): overflow-mode matches then start from
+        # the cached set instead of recomputing the ε-closure per call.
+        self._start_set: Optional[FrozenSet[Tuple[int, int]]] = None
 
     def _enter(self, inst: int, call_index: int, child: Fragment, ret: int) -> int:
         key = (inst, call_index)
@@ -248,13 +252,14 @@ class ComposedNFA:
 
     def matches(self, text: str) -> bool:
         """Return True if the composed automaton accepts ``text``."""
-        start = None
-        if self._start_id is None or self._start_id == -2:
-            start = self.eps_closure(frozenset(((0, self.root.entry),)))
-            self._start_id = self._intern(start)
+        if self._start_id is None:
+            self._start_set = self.eps_closure(
+                frozenset(((0, self.root.entry),))
+            )
+            self._start_id = self._intern(self._start_set)
         current_id = self._start_id
         if current_id == -2:
-            return self._matches_slow(start, text, 0)
+            return self._matches_slow(self._start_set, text, 0)
         moves = self._moves
         for index, char in enumerate(text):
             if current_id == -2:

@@ -185,6 +185,16 @@ class CachingOracle:
         """Digests of every distinct string forwarded to the oracle."""
         return frozenset(self._seen)
 
+    def known_results(self) -> Dict[str, bool]:
+        """A snapshot of every cached (string, verdict) pair.
+
+        This is how the phase-2 query planner pre-seeds its cross-pair
+        verdict table: check strings phase 1 already answered through
+        this cache never reach the oracle again, even from worker
+        processes that do not share the cache object.
+        """
+        return dict(self._cache)
+
     @property
     def concurrent(self) -> bool:
         return supports_concurrency(self._oracle)

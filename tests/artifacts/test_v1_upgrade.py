@@ -1,9 +1,11 @@
-"""Schema-v1 artifacts load (and resume) under the v2 build.
+"""Older-schema artifacts load (and resume) under the current build.
 
 Checkpoints are the one thing the artifact subsystem exists to
-preserve, so the v2 schema bump upgrades v1 documents in place instead
-of refusing them. A v1 document is simulated by downgrading a real v2
-one: stripping every v2-only field, exactly what a PR-2 build wrote.
+preserve, so schema bumps upgrade known older documents in place
+instead of refusing them: v1 → v2 re-indexes phase-1 results, v2 → v3
+merely lacks the optional ``phase2_progress`` record. Old documents
+are simulated by downgrading a real current one: stripping every
+newer-than-X field, exactly what the PR-2 / PR-3 builds wrote.
 """
 
 import json
@@ -11,6 +13,7 @@ import json
 import pytest
 
 from repro.artifacts import (
+    SCHEMA_VERSION,
     ArtifactError,
     MemoryCheckpointStore,
     RunArtifact,
@@ -25,9 +28,17 @@ from tests.core.helpers import XML_ALPHABET, xml_like_oracle
 SEEDS = ["<a>ab</a>", "xy"]
 
 
+def downgrade_to_v2(data):
+    """Strip every v3-only field, producing what a PR-3 build wrote."""
+    v2 = json.loads(json.dumps(data))
+    v2["schema_version"] = 2
+    v2.pop("phase2_progress", None)
+    return v2
+
+
 def downgrade_to_v1(data):
     """Strip every v2-only field, producing what a PR-2 build wrote."""
-    v1 = json.loads(json.dumps(data))
+    v1 = downgrade_to_v2(data)
     v1["schema_version"] = 1
     v1.pop("speculative_queries", None)
     v1.pop("execution", None)
@@ -60,7 +71,36 @@ def test_complete_v1_artifact_loads(finished):
     assert str(restored.grammar) == str(artifact.grammar)
     assert restored.schema_version == artifact.schema_version
     # Re-saving writes the current schema.
-    assert restored.to_dict()["schema_version"] == 2
+    assert restored.to_dict()["schema_version"] == SCHEMA_VERSION
+
+
+def test_complete_v2_artifact_loads(finished):
+    artifact, _store = finished
+    v2 = downgrade_to_v2(artifact.to_dict())
+    restored = RunArtifact.from_dict(v2)
+    assert str(restored.grammar) == str(artifact.grammar)
+    assert restored.phase2_progress == {}
+    assert restored.to_dict()["schema_version"] == SCHEMA_VERSION
+
+
+def test_in_progress_v2_artifact_resumes(finished):
+    """A v2 checkpoint (no phase-2 progress record) resumes: phase 2
+    re-runs from its start, ending in the same grammar and totals."""
+    artifact, store = finished
+    snapshot = None
+    for index in range(len(store.snapshots)):
+        candidate = store.snapshot(index)
+        if candidate.stage == "translate":
+            snapshot = candidate
+            break
+    assert snapshot is not None
+    restored = RunArtifact.from_dict(downgrade_to_v2(snapshot.to_dict()))
+    resumed = LearningPipeline(
+        xml_like_oracle, config=restored.config
+    ).resume(restored)
+    assert resumed.status == "complete"
+    assert str(resumed.grammar) == str(artifact.grammar)
+    assert resumed.oracle_queries == artifact.oracle_queries
 
 
 def test_in_progress_v1_artifact_resumes(finished):

@@ -369,3 +369,137 @@ def test_version_mismatch_is_reported(tmp_path):
     proc = run_cli(["show", str(path)], env)
     assert proc.returncode == 2
     assert "schema version" in proc.stderr
+
+
+PHASE2_ORACLE = '''\
+import os
+import sys
+import time
+
+text = sys.stdin.read()
+with open(os.environ["ORACLE_LOG"], "a") as log:
+    log.write(repr(text) + "\\n")
+time.sleep(0.02)  # widen the kill window for the interruption test
+ok = bool(text) and any(set(text) <= {c} for c in "wxyz")
+sys.exit(0 if ok else 1)
+'''
+
+PHASE2_SEEDS = ["xx", "yy", "zz", "ww"]
+
+
+def phase2_learn_args(oracle_path, out_path, extra=()):
+    args = [
+        "learn",
+        "--command", "{} {}".format(sys.executable, oracle_path),
+        "--out", str(out_path),
+        "--alphabet", "wxyz",
+        "--samples", "0",
+    ]
+    for seed in PHASE2_SEEDS:
+        args += ["--seed", seed]
+    return args + list(extra)
+
+
+def test_phase2_kill_resume_matches_serial(tmp_path):
+    """``learn --jobs 4`` SIGKILLed *mid-phase-2*, then ``resume --jobs
+    2`` (a different job count), ends byte-identical to an
+    uninterrupted serial run with equal accumulated counted query
+    stats — the wavefront checkpointing guarantee, end to end.
+
+    Four single-letter seeds give four repetition stars and six merge
+    candidates; the oracle's per-query sleep stretches phase 2 wide
+    enough to kill between two pair commits.
+    """
+    oracle_path = tmp_path / "oracle2.py"
+    oracle_path.write_text(PHASE2_ORACLE)
+
+    # Reference: uninterrupted serial (--jobs 1) run.
+    env = cli_env(tmp_path, "p2ref.log")
+    ref_out = tmp_path / "p2ref.json"
+    completed = run_cli(phase2_learn_args(oracle_path, ref_out), env)
+    assert completed.returncode == 0, completed.stderr
+    ref = json.loads(ref_out.read_text())
+    assert ref["status"] == "complete"
+    ref_decisions = ref["phase2_progress"]["decisions"]
+    # At least the C(4,2) cross-seed candidates (phase 1 may introduce
+    # more than one star per seed).
+    assert len(ref_decisions) >= 6
+
+    # Interrupted parallel run: SIGKILL once at least one pair has
+    # committed but before the whole plan has.
+    env = cli_env(tmp_path, "p2kill.log")
+    kill_out = tmp_path / "p2kill.json"
+    proc = subprocess.Popen(
+        cli_command(*phase2_learn_args(
+            oracle_path, kill_out, ["--jobs", "4", "--backend", "thread"]
+        )),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 90
+        killed_mid_phase2 = False
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                break
+            if kill_out.exists():
+                try:
+                    snapshot = json.loads(kill_out.read_text())
+                except json.JSONDecodeError:
+                    snapshot = None  # mid-replace; retry
+                if snapshot and snapshot["status"] == "in_progress":
+                    decisions = snapshot.get("phase2_progress", {}).get(
+                        "decisions", []
+                    )
+                    pairs = snapshot.get("phase2_progress", {}).get(
+                        "pairs", 0
+                    )
+                    if 0 < len(decisions) < pairs:
+                        proc.send_signal(signal.SIGKILL)
+                        proc.wait(timeout=30)
+                        killed_mid_phase2 = True
+                        break
+            time.sleep(0.002)
+        assert killed_mid_phase2, "learn finished before a mid-phase-2 kill"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    checkpoint = json.loads(kill_out.read_text())
+    assert checkpoint["status"] == "in_progress"
+    committed = checkpoint["phase2_progress"]["decisions"]
+    assert 0 < len(committed) < checkpoint["phase2_progress"]["pairs"]
+    # The committed prefix agrees with the serial run's decisions.
+    assert committed == ref_decisions[: len(committed)]
+
+    # Resume at a *different* job count.
+    resumed = run_cli(
+        ["resume", str(kill_out), "--jobs", "2", "--backend", "thread"],
+        env,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    final = json.loads(kill_out.read_text())
+    assert final["status"] == "complete"
+
+    # Byte-identical grammar, equal accumulated counted query stats,
+    # identical committed decision log.
+    assert json.dumps(final["grammar"], sort_keys=True) == json.dumps(
+        ref["grammar"], sort_keys=True
+    )
+    assert final["oracle_queries"] == ref["oracle_queries"]
+    assert final["phase2_progress"]["decisions"] == ref_decisions
+    assert final["phase2_progress"]["backend"] == "thread"
+    assert final["phase2_progress"]["jobs"] == 2
+
+    # Samples drawn from both artifacts are identical.
+    a = run_cli(["sample", str(ref_out), "-n", "6", "--rng-seed", "3"], env)
+    b = run_cli(["sample", str(kill_out), "-n", "6", "--rng-seed", "3"], env)
+    assert a.returncode == 0 and b.returncode == 0
+    assert a.stdout == b.stdout
+
+    # `show` reports the phase-2 execution record.
+    shown = run_cli(["show", str(kill_out)], env)
+    assert shown.returncode == 0
+    assert "phase-2 execution" in shown.stdout

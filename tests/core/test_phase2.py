@@ -138,3 +138,150 @@ def test_matching_parentheses_learned():
         assert recognize(result.grammar, text), text
     for text in ["[", "]", "[c", "c]c]"]:
         assert not recognize(result.grammar, text), text
+
+
+def _star_row(names):
+    """Sibling stars with explicit ids for run-to-run comparability."""
+    stars = [
+        GStar(
+            GConst(name, Context("<{}>".format(i), "</{}>".format(i))),
+            name,
+            Context("<{}>".format(i), "</{}>".format(i)),
+            star_id=500 + i,
+        )
+        for i, name in enumerate(names)
+    ]
+    root = GRoot(GConcat(list(stars)))
+    return translate_trees([root]), stars
+
+
+class TestMergePlan:
+    def test_plan_checks_match_lazy_merge_checks(self):
+        # The planner's precomputed residuals must reproduce the
+        # historical per-pair sampling byte for byte (residual_seed
+        # semantics: rep string ⊕ merge-order index).
+        from repro.core.phase2 import merge_checks, plan_merges, residual_seed
+
+        _grammar, stars = _star_row(["ab", "cd", "ef"])
+        plan = plan_merges(stars)
+        ids = sorted(s.star_id for s in stars)
+        by_id = {s.star_id: s for s in stars}
+        seed_of = {
+            star_id: residual_seed(by_id[star_id], position)
+            for position, star_id in enumerate(ids)
+        }
+        expected = []
+        for position, i in enumerate(ids):
+            for j in ids[position + 1:]:
+                expected.append(
+                    merge_checks(
+                        by_id[i], by_id[j],
+                        seed_i=seed_of[i], seed_j=seed_of[j],
+                    )
+                )
+        assert [pair.checks for pair in plan.pairs] == expected
+
+    def test_residuals_sampled_once_per_star(self, monkeypatch):
+        # The satellite fix: residual sampling is hoisted out of the
+        # pair loop — one sampling call per star, not one per partner.
+        import repro.core.phase2 as phase2
+
+        calls = []
+        original = phase2._star_residuals
+
+        def counting(star, n_samples, rng_seed=None):
+            calls.append(star.star_id)
+            return original(star, n_samples, rng_seed)
+
+        monkeypatch.setattr(phase2, "_star_residuals", counting)
+        grammar, stars = _star_row(["ab", "cd", "ef", "gh"])
+        phase2.merge_repetitions(grammar, stars, lambda s: True)
+        assert sorted(calls) == sorted(s.star_id for s in stars)
+
+    def test_distinct_checks_counts_cross_pair_duplicates(self):
+        from repro.core.phase2 import plan_merges
+
+        _grammar, stars = _star_row(["ab", "ab", "ab"])
+        plan = plan_merges(stars)
+        total = sum(len(pair.checks) for pair in plan.pairs)
+        assert plan.distinct_checks() < total  # duplicates exist
+
+
+class TestMergeCommitter:
+    def setup_plan(self, oracle=None):
+        from repro.core.phase2 import MergeCommitter, plan_merges
+
+        grammar, stars = _star_row(["ab", "ab", "ab"])
+        plan = plan_merges(stars)
+        return grammar, plan, MergeCommitter(plan)
+
+    def test_commit_outcome_matches_serial_decisions(self):
+        from repro.core.phase2 import PAIR_MERGED, PAIR_SKIPPED
+
+        _grammar, plan, committer = self.setup_plan()
+        while not committer.done:
+            pair = committer.next_pair()
+            if committer.next_is_skip():
+                committer.commit_skip()
+            else:
+                committer.commit_outcome([True] * len(pair.checks))
+        assert committer.decisions == [
+            PAIR_MERGED, PAIR_MERGED, PAIR_SKIPPED,
+        ]
+
+    def test_discarded_pair_books_speculative_cost(self):
+        from repro.core.phase2 import PAIR_SKIPPED
+
+        _grammar, plan, committer = self.setup_plan()
+        committer.commit_outcome([True] * len(plan.pairs[0].checks))
+        committer.commit_outcome([True] * len(plan.pairs[1].checks))
+        # Pair (1,2) was evaluated speculatively but is now equated.
+        verdicts = [True] * len(plan.pairs[2].checks)
+        event = committer.commit_outcome(verdicts)
+        assert event.decision == PAIR_SKIPPED
+        assert event.discarded == len(verdicts)
+        assert event.queries == 0 and event.digests == ()
+
+    def test_short_circuit_counts_prefix_only(self):
+        from repro.core.phase2 import PAIR_REJECTED
+
+        _grammar, plan, committer = self.setup_plan()
+        event = committer.commit_outcome([True, False])
+        assert event.decision == PAIR_REJECTED
+        assert event.queries == 2
+        assert len(event.digests) == 2
+
+    def test_replay_reproduces_state_and_records(self):
+        from repro.core.phase2 import MergeCommitter, plan_merges
+
+        grammar, stars = _star_row(["ab", "cd", "ab", "cd"])
+        plan = plan_merges(stars)
+        reference = MergeCommitter(plan, record_trace=True)
+        while not reference.done:
+            pair = reference.next_pair()
+            if reference.next_is_skip():
+                reference.commit_skip()
+            else:
+                # Merge only equal-name stars.
+                same = (pair.star_i - 500) % 2 == (pair.star_j - 500) % 2
+                reference.commit_outcome(
+                    [True] * len(pair.checks) if same else [True, False]
+                )
+
+        replayed = MergeCommitter(plan, record_trace=True)
+        replayed.replay(reference.decisions)
+        assert replayed.decisions == reference.decisions
+        assert replayed.records == reference.records
+        assert (
+            str(replayed.finish(grammar).grammar)
+            == str(reference.finish(grammar).grammar)
+        )
+
+    def test_replay_rejects_malformed_progress(self):
+        import pytest
+
+        _grammar, plan, committer = self.setup_plan()
+        with pytest.raises(ValueError, match="decisions"):
+            committer.replay(["merged"] * (plan.n_pairs + 1))
+        with pytest.raises(ValueError, match="unknown phase-2 decision"):
+            committer.replay(["bogus"])

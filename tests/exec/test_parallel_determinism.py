@@ -143,3 +143,93 @@ def test_speculative_queries_reported_not_counted():
     assert parallel.oracle_queries == serial.oracle_queries
     assert parallel.unique_queries == serial.unique_queries
     assert str(parallel.grammar) == str(serial.grammar)
+
+
+def test_phase2_progress_recorded_and_serial_equal(xml, seeds,
+                                                   serial_reference):
+    """Schema v3: the artifact records how phase 2 executed, and the
+    committed decision log is identical at any job count."""
+    reference = serial_reference[4]
+    ref_progress = reference.phase2_progress
+    assert ref_progress["backend"] == "serial"
+    assert ref_progress["jobs"] == 1
+    assert ref_progress["pairs"] == len(ref_progress["decisions"])
+    assert "merged" in ref_progress["decisions"]  # xml actually merges
+
+    actual = learn(xml, seeds, 4, "thread")
+    progress = actual.phase2_progress
+    assert progress["backend"] == "thread"
+    assert progress["jobs"] == 4
+    # The wavefront commits the same decisions in the same order.
+    assert progress["decisions"] == ref_progress["decisions"]
+
+
+def test_interrupted_phase2_resumes_at_other_job_count(
+    xml, seeds, serial_reference
+):
+    """A checkpoint taken *mid-phase-2* under ``--jobs 4`` resumes at
+    jobs=2 to the uninterrupted serial result: committed pairs are
+    replayed (zero queries), only the rest is re-evaluated, and the
+    accumulated counted totals equal the serial run's exactly."""
+    store = MemoryCheckpointStore()
+    full = learn(xml, seeds, 4, "thread", store=store)
+    assert_equivalent(full, serial_reference[4])
+
+    snapshot = None
+    for index in range(len(store.snapshots)):
+        candidate = store.snapshot(index)
+        decisions = candidate.phase2_progress.get("decisions", [])
+        total = candidate.phase2_progress.get("pairs", 0)
+        if candidate.stage == "translate" and 0 < len(decisions) < total:
+            snapshot = candidate
+            break
+    assert snapshot is not None, "no mid-phase-2 checkpoint recorded"
+
+    snapshot.config.jobs = 2  # resume at a different worker count
+    resumed = LearningPipeline(
+        xml.oracle, config=snapshot.config
+    ).resume(snapshot)
+    assert_equivalent(resumed, serial_reference[4], resumed=True)
+    assert resumed.status == "complete"
+    assert (
+        resumed.phase2_progress["decisions"]
+        == serial_reference[4].phase2_progress["decisions"]
+    )
+
+
+def test_interrupted_serial_phase2_resumes_without_requerying(xml, seeds):
+    """The serial path checkpoints per evaluated pair too: resuming a
+    mid-phase-2 serial checkpoint re-issues no queries for committed
+    pairs (the base-invocation count stays within the remainder)."""
+
+    class CountingBase:
+        def __init__(self, fn):
+            self.fn = fn
+            self.calls = 0
+
+        def __call__(self, text):
+            self.calls += 1
+            return self.fn(text)
+
+    store = MemoryCheckpointStore()
+    config = GladeConfig(alphabet=xml.alphabet)
+    full = LearningPipeline(
+        xml.oracle, config=config, store=store
+    ).run(seeds)
+
+    snapshot = None
+    for index in range(len(store.snapshots)):
+        candidate = store.snapshot(index)
+        decisions = candidate.phase2_progress.get("decisions", [])
+        total = candidate.phase2_progress.get("pairs", 0)
+        if candidate.stage == "translate" and 0 < len(decisions) < total:
+            snapshot = candidate
+    assert snapshot is not None, "no mid-phase-2 serial checkpoint"
+    base_queries = snapshot.oracle_queries
+
+    oracle = CountingBase(xml.oracle)
+    resumed = LearningPipeline(oracle, config=config).resume(snapshot)
+    assert str(resumed.grammar) == str(full.grammar)
+    assert resumed.oracle_queries == full.oracle_queries
+    # Only post-checkpoint pairs were evaluated.
+    assert oracle.calls <= full.oracle_queries - base_queries

@@ -195,3 +195,81 @@ def test_shared_engine_stays_correct_across_compilations(expr, seed, probe):
     match_star = engine.matcher(rx.star(expr))
     assert match_expr(probe) == compile_regex(expr).matches(probe)
     assert match_star(other)  # one iteration of the starred language
+
+
+class TestCacheOverflowFallback:
+    """The ``MAX_CACHED_SETS`` overflow path (satellite of ISSUE 4).
+
+    Past the bound, :class:`ComposedNFA` stops interning state sets and
+    falls back to plain set-of-states simulation. The fallback must
+    agree with from-scratch matching, and the start-state ε-closure —
+    recomputed per call before the fix — is paid once and cached.
+    """
+
+    #: A language with enough lazy-DFA states to overflow a tiny bound:
+    #: (a|b)* ab (a|b)* forces several distinct state sets per probe.
+    EXPR = rx.concat(
+        rx.star(rx.CharClass(frozenset("ab"))),
+        rx.Lit("ab"),
+        rx.star(rx.CharClass(frozenset("ab"))),
+    )
+
+    def overflowed(self, bound):
+        nfa = Engine().compile(self.EXPR)
+        nfa.MAX_CACHED_SETS = bound  # instance attr shadows the class
+        return nfa
+
+    def probe_strings(self):
+        rng = random.Random(7)
+        fixed = ["", "a", "b", "ab", "ba", "aab", "abab", "bbbb", "abba"]
+        rand = [
+            "".join(rng.choice("ab") for _ in range(rng.randrange(1, 10)))
+            for _ in range(60)
+        ]
+        return fixed + rand
+
+    def test_full_table_agrees_with_scratch_matching(self):
+        # Bound 0: nothing interns, not even the start set — every
+        # match runs entirely on the slow path.
+        nfa = self.overflowed(bound=0)
+        reference = compile_regex(self.EXPR).matches
+        for probe in self.probe_strings():
+            assert nfa.matches(probe) == reference(probe), probe
+        assert nfa._start_id == -2
+
+    def test_mid_match_overflow_agrees(self):
+        # A bound of a few sets makes the overflow happen *during* a
+        # match (fast path first, slow path for the rest of the text).
+        reference = compile_regex(self.EXPR).matches
+        for bound in (1, 2, 3, 4):
+            nfa = self.overflowed(bound=bound)
+            for probe in self.probe_strings():
+                assert nfa.matches(probe) == reference(probe), (bound, probe)
+
+    def test_overflowed_start_closure_computed_once(self):
+        nfa = self.overflowed(bound=0)
+        assert nfa.matches("ab")
+        assert nfa._start_id == -2
+        calls = []
+        original = nfa.eps_closure
+
+        def counting_eps_closure(states):
+            calls.append(states)
+            return original(states)
+
+        nfa.eps_closure = counting_eps_closure
+        # Matching the empty string from overflow mode consumes no
+        # characters: with the start set cached there is nothing left
+        # to ε-close, so zero closure calls happen per match. (Before
+        # the cache, every call re-closed the start state.)
+        for _ in range(3):
+            assert not nfa.matches("")
+        assert calls == []
+
+
+@given(expr=regex_trees(), probe=probes, bound=st.integers(0, 3))
+@settings(max_examples=100, deadline=None)
+def test_overflow_agrees_on_random_asts(expr, probe, bound):
+    nfa = Engine().compile(expr)
+    nfa.MAX_CACHED_SETS = bound
+    assert nfa.matches(probe) == compile_regex(expr).matches(probe)
