@@ -222,6 +222,56 @@ def _cmd_show(args, parser) -> int:
     return 0
 
 
+def _cmd_eval(args, parser) -> int:
+    # Heavy imports stay local: the evaluation stack (subjects, earley,
+    # coverage tracing) is only paid for by `repro eval`.
+    from repro.artifacts.suite import SuiteParams, load_suite, save_suite
+    from repro.evaluation import harness
+
+    if args.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if args.backend == "serial" and args.jobs > 1:
+        parser.error(
+            "--backend serial is single-worker; drop --jobs or pick "
+            "thread/process (or auto)"
+        )
+    if args.check and args.baseline is None:
+        parser.error("--check requires --baseline")
+    try:
+        subjects = harness.resolve_subjects(args.subjects)
+    except ValueError as exc:
+        parser.error(str(exc))
+    params = SuiteParams(
+        eval_samples=args.eval_samples,
+        fuzz_samples=args.fuzz_samples,
+        sample_candidates=args.sample_candidates,
+        rng_seed=args.rng_seed,
+    )
+    cache = harness.SubjectArtifactCache(cache_dir=args.cache_dir)
+    suite = harness.run_suite(
+        subjects=subjects,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache=cache,
+        params=params,
+    )
+    print(harness.format_suite(suite))
+    if args.out:
+        save_suite(suite, args.out)
+        print("# suite metrics written to {}".format(args.out))
+    if args.baseline is None:
+        return 0
+    baseline = load_suite(args.baseline)
+    comparison = harness.compare(
+        suite, baseline, wallclock_band=args.wallclock_band
+    )
+    print()
+    print(harness.format_comparison(comparison))
+    if args.check and not comparison.ok():
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -336,6 +386,75 @@ def main(argv=None) -> int:
     )
     show.add_argument("artifact", help="run artifact written by learn --out")
     show.set_defaults(handler=_cmd_show)
+
+    evaluate = sub.add_parser(
+        "eval",
+        help="run the unified evaluation suite over the §8.3 subjects",
+        description=(
+            "Learn each requested subject's grammar once (fanned out "
+            "across subjects with --jobs; reused from --cache-dir when "
+            "already learned) and derive every figure's metrics into "
+            "one BENCH_suite.json. With --baseline, classify each "
+            "metric as improved/stable/regressed; --check turns "
+            "deterministic regressions into exit status 1 (wall-clock "
+            "drift only warns). See EXPERIMENTS.md."
+        ),
+    )
+    evaluate.add_argument(
+        "--subjects", default="all",
+        help="comma-separated subject names, or 'all' (default)",
+    )
+    evaluate.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel workers for the per-subject learning fan-out "
+        "(suite metrics are byte-identical at any job count)",
+    )
+    evaluate.add_argument(
+        "--backend", default="auto",
+        choices=["auto", "serial", "thread", "process"],
+        help="execution backend for --jobs",
+    )
+    evaluate.add_argument(
+        "--cache-dir",
+        help="directory of per-subject run artifacts; already-learned "
+        "subjects are reused with zero oracle queries",
+    )
+    evaluate.add_argument(
+        "--out", default="BENCH_suite.json",
+        help="write the suite metrics artifact here (default "
+        "BENCH_suite.json; use '' to skip writing)",
+    )
+    evaluate.add_argument(
+        "--baseline",
+        help="compare against this committed suite artifact "
+        "(e.g. benchmarks/baselines/BENCH_suite_xml_grep.json)",
+    )
+    evaluate.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when a deterministic metric regressed against "
+        "--baseline (the CI gate)",
+    )
+    evaluate.add_argument(
+        "--wallclock-band", type=float, default=0.30,
+        help="relative tolerance for wall-clock metrics (warn-only)",
+    )
+    evaluate.add_argument(
+        "--eval-samples", type=int, default=120,
+        help="grammar samples for the precision estimate",
+    )
+    evaluate.add_argument(
+        "--fuzz-samples", type=int, default=120,
+        help="fuzzer samples for validity/coverage",
+    )
+    evaluate.add_argument(
+        "--sample-candidates", type=int, default=60,
+        help="candidates for the Figure-8 valid-sample search",
+    )
+    evaluate.add_argument(
+        "--rng-seed", type=int, default=0,
+        help="base PRNG seed for every sampling path (default 0)",
+    )
+    evaluate.set_defaults(handler=_cmd_eval)
 
     args = parser.parse_args(argv)
     try:

@@ -1,10 +1,20 @@
-"""Test-suite corpora: the Figure 7(b) "upper bound" proxies.
+"""Fixed corpora of valid inputs per subject.
 
-For Python, Ruby and Javascript the paper compares fuzzers against the
-coverage achieved by each interpreter's large regression test suite
-(100k+ lines). Our proxy is a hand-curated corpus of valid programs per
-front-end, exercising every construct the mini-parsers support — the
-analog of a regression suite written by the subject's own developers.
+Two roles:
+
+- **Figure 7(b) "upper bound" proxies** (:data:`CORPORA`): for Python,
+  Ruby and Javascript the paper compares fuzzers against the coverage
+  achieved by each interpreter's large regression test suite (100k+
+  lines). Our proxy is a hand-curated corpus of valid programs per
+  front-end, exercising every construct the mini-parsers support — the
+  analog of a regression suite written by the subject's own developers.
+- **Recall corpora for the evaluation harness**
+  (:data:`EVAL_CORPORA`, :func:`eval_corpus`): the unified harness
+  measures each learned grammar's recall as the *exact* fraction of a
+  committed, fixed corpus it recognizes — no sampling, so the metric is
+  deterministic and CI can gate on strict equality. The five subjects
+  without a Figure 7(b) corpus get a small hand-written one here.
+
 Each snippet is validated by the unit tests against its parser.
 """
 
@@ -190,3 +200,83 @@ CORPORA: Dict[str, List[str]] = {
     "ruby": RUBY_CORPUS,
     "javascript": JAVASCRIPT_CORPUS,
 }
+
+SED_CORPUS: List[str] = [
+    "p",
+    "d",
+    "5d",
+    "s/a/b/",
+    "s/x/y/g",
+    "s/cat/dog/p",
+    "1,3d",
+    "/foo/p",
+    "/bad/d",
+    "y/ab/cd/",
+    "$d",
+]
+
+GREP_CORPUS: List[str] = [
+    "abc",
+    "a*",
+    "^start",
+    "end$",
+    "[abc]",
+    "[^xy]z",
+    "a\\|b",
+    "\\(ab\\)c",
+    "x\\{2,4\\}",
+    ".y*",
+    "\\(a\\)\\1",
+]
+
+XML_CORPUS: List[str] = [
+    "<a/>",
+    "<a>text</a>",
+    '<a b="c"/>',
+    "<a><b/></a>",
+    "<r><!-- note --></r>",
+    "<r><![CDATA[raw]]></r>",
+    '<?xml version="1.0"?>\n<doc/>',
+    "<d>&amp;</d>",
+    "<d>&#65;</d>",
+    "<outer><inner x='1'>deep</inner></outer>",
+]
+
+FLEX_CORPUS: List[str] = [
+    "%%\n",
+    "%%\n[a-z]+ ECHO;\n",
+    "DIGIT [0-9]\n%%\n{DIGIT}+ { count(); }\n",
+    "%option noyywrap\n%%\nif return IF;\n",
+    "%%\n\"word\" { emit(); }\n%%\n",
+    "A [ab]\nB [cd]\n%%\n{A}{B} return PAIR;\n",
+]
+
+BISON_CORPUS: List[str] = [
+    "%%\ns : ;\n",
+    "%token A\n%%\ns : A ;\n",
+    "%token NUM\n%%\ne : e '+' NUM | NUM ;\n",
+    "%start p\n%token ID\n%%\np : ID ;\n",
+    "%token X\n%%\na : b | X ;\nb : X X ;\n",
+    "%left '+'\n%token N\n%%\ne : e '+' e | N ;\n",
+]
+
+#: Fixed recall corpora for the evaluation harness, all eight subjects.
+EVAL_CORPORA: Dict[str, List[str]] = {
+    "sed": SED_CORPUS,
+    "flex": FLEX_CORPUS,
+    "grep": GREP_CORPUS,
+    "bison": BISON_CORPUS,
+    "xml": XML_CORPUS,
+    "python": PYTHON_CORPUS,
+    "ruby": RUBY_CORPUS,
+    "javascript": JAVASCRIPT_CORPUS,
+}
+
+
+def eval_corpus(name: str) -> List[str]:
+    """The fixed recall corpus for one subject: its seeds (every one is
+    in L* by construction) followed by the committed valid inputs."""
+    from repro.programs import get_subject
+
+    subject = get_subject(name)
+    return list(subject.seeds) + list(EVAL_CORPORA.get(name, []))

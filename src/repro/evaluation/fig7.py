@@ -19,9 +19,11 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.artifacts.run import RunArtifact
 from repro.core.glade import GladeResult
 from repro.evaluation.corpora import CORPORA
 from repro.evaluation.fig6 import learn_subject_grammar
+from repro.evaluation.harness import SubjectArtifactCache, stable_seed
 from repro.evaluation.reporting import format_series, format_table
 from repro.fuzzing import AFLFuzzer, GrammarFuzzer, NaiveFuzzer
 from repro.languages.sampler import GrammarSampler
@@ -57,25 +59,42 @@ class Fig7Row:
 
 
 class SubjectHarness:
-    """Shared state for fuzzing one subject: grammar, seeds, coverage."""
+    """Shared state for fuzzing one subject: grammar, seeds, coverage.
 
-    def __init__(self, name: str, seed: int = 0):
+    ``glade_result`` accepts a pre-learned result (e.g. derived from a
+    suite artifact); otherwise learning routes through the per-subject
+    artifact cache, so several harnesses — and the other figures — in
+    one process share a single learning run per subject.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        glade_result: Optional[GladeResult] = None,
+        cache: Optional[SubjectArtifactCache] = None,
+    ):
         self.name = name
         self.subject: Subject = get_subject(name)
         self.seed = seed
+        self.cache = cache
         self.coverable: Set[Line] = set()
         for module in self.subject.modules:
             self.coverable |= coverable_lines(module)
         self.seed_lines = measure_coverage(self.subject, self.subject.seeds)
-        self._glade: Optional[GladeResult] = None
+        self._glade: Optional[GladeResult] = glade_result
 
     def glade_result(self) -> GladeResult:
         if self._glade is None:
-            self._glade = learn_subject_grammar(self.subject)
+            self._glade = learn_subject_grammar(
+                self.subject, cache=self.cache
+            )
         return self._glade
 
     def generate(self, fuzzer: str, n_samples: int) -> List[str]:
-        rng = random.Random(self.seed + hash(fuzzer) % 1000)
+        # stable_seed, not hash(): str hashes are salted per process,
+        # which would make the sample streams irreproducible.
+        rng = random.Random(stable_seed("fig7", fuzzer, self.seed))
         if fuzzer == "naive":
             return NaiveFuzzer(
                 self.subject.seeds, self.subject.alphabet, rng
@@ -109,14 +128,30 @@ class SubjectHarness:
         return report, valid
 
 
+def _subject_harness(
+    name: str,
+    seed: int,
+    artifacts: Optional[Dict[str, RunArtifact]],
+    cache: Optional[SubjectArtifactCache],
+) -> SubjectHarness:
+    glade_result = None
+    if artifacts is not None and name in artifacts:
+        glade_result = artifacts[name].to_glade_result()
+    return SubjectHarness(
+        name, seed=seed, glade_result=glade_result, cache=cache
+    )
+
+
 def run_fig7a(
     subjects: Sequence[str] = tuple(SUBJECT_NAMES),
     n_samples: int = 1000,
     seed: int = 0,
+    artifacts: Optional[Dict[str, RunArtifact]] = None,
+    cache: Optional[SubjectArtifactCache] = None,
 ) -> List[Fig7Row]:
     rows: List[Fig7Row] = []
     for name in subjects:
-        harness = SubjectHarness(name, seed=seed)
+        harness = _subject_harness(name, seed, artifacts, cache)
         baseline_report: Optional[CoverageReport] = None
         for fuzzer in FUZZERS:
             samples = harness.generate(fuzzer, n_samples)
@@ -139,10 +174,12 @@ def run_fig7b(
     subjects: Sequence[str] = tuple(UPPER_BOUND_PROXIES),
     n_samples: int = 1000,
     seed: int = 0,
+    artifacts: Optional[Dict[str, RunArtifact]] = None,
+    cache: Optional[SubjectArtifactCache] = None,
 ) -> List[Fig7Row]:
     rows: List[Fig7Row] = []
     for name in subjects:
-        harness = SubjectHarness(name, seed=seed)
+        harness = _subject_harness(name, seed, artifacts, cache)
         baseline_report: Optional[CoverageReport] = None
         for fuzzer in ["naive", "glade", UPPER_BOUND_PROXIES[name]]:
             samples = harness.generate(fuzzer, n_samples)
@@ -165,9 +202,11 @@ def run_fig7c(
     subject_name: str = "python",
     checkpoints: Sequence[int] = (100, 250, 500, 1000, 2000),
     seed: int = 0,
+    artifacts: Optional[Dict[str, RunArtifact]] = None,
+    cache: Optional[SubjectArtifactCache] = None,
 ) -> Dict[str, List[float]]:
     """Coverage growth with sample count (normalized by naive's final)."""
-    harness = SubjectHarness(subject_name, seed=seed)
+    harness = _subject_harness(subject_name, seed, artifacts, cache)
     total = max(checkpoints)
     streams = {
         fuzzer: harness.generate(fuzzer, total) for fuzzer in FUZZERS

@@ -9,12 +9,15 @@ learns the grammar from the XML subject's seeds and prints samples
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import List
+from typing import Optional
 
-from repro.evaluation.fig6 import learn_subject_grammar
-from repro.fuzzing import GrammarFuzzer
+from repro.artifacts.run import RunArtifact
+from repro.evaluation.harness import (
+    SubjectArtifactCache,
+    search_valid_sample,
+    subject_artifact,
+)
 from repro.programs import get_subject
 
 
@@ -26,28 +29,31 @@ class Fig8Result:
 
 
 def run_fig8(
-    n_candidates: int = 200, seed: int = 7, min_length: int = 40
+    n_candidates: int = 200,
+    seed: int = 7,
+    min_length: int = 40,
+    artifact: Optional[RunArtifact] = None,
+    cache: Optional[SubjectArtifactCache] = None,
 ) -> Fig8Result:
-    """Generate Figure 8's sample: a large valid fuzzed XML document."""
+    """Generate Figure 8's sample: a large valid fuzzed XML document.
+
+    ``artifact`` reuses an already-learned XML run artifact; otherwise
+    the harness's artifact cache supplies one (shared with Figure 6/7
+    runs in the same process, so the XML grammar is learned once).
+    """
     subject = get_subject("xml")
-    result = learn_subject_grammar(subject)
-    fuzzer = GrammarFuzzer(
-        result.grammar, result.seeds_used, random.Random(seed)
+    if artifact is None:
+        artifact = subject_artifact(subject, cache=cache)
+    result = artifact.to_glade_result()
+    sample, valid, tried = search_valid_sample(
+        result.grammar,
+        result.seeds_used,
+        subject.accepts,
+        n_candidates=n_candidates,
+        seed=seed,
+        min_length=min_length,
     )
-    best = ""
-    tried = 0
-    for _ in range(n_candidates):
-        tried += 1
-        candidate = fuzzer.generate_one()
-        if not subject.accepts(candidate):
-            continue
-        if len(candidate) >= min_length:
-            return Fig8Result(sample=candidate, valid=True, n_tried=tried)
-        if len(candidate) > len(best):
-            best = candidate
-    return Fig8Result(
-        sample=best, valid=subject.accepts(best), n_tried=tried
-    )
+    return Fig8Result(sample=sample, valid=valid, n_tried=tried)
 
 
 def format_fig8(result: Fig8Result) -> str:

@@ -50,7 +50,10 @@ def _recall(target, result) -> float:
     "name,min_precision,min_recall",
     [
         ("url", 0.30, 0.90),
-        ("grep", 0.20, 0.80),
+        # grep's 8-seed learn dominates the whole tier-1 suite's
+        # wall-clock (~50 s), so it runs in the slow CI job instead;
+        # test_grep_learns_group_nesting keeps a fast grep floor.
+        pytest.param("grep", 0.20, 0.80, marks=pytest.mark.slow),
         ("lisp", 0.25, 0.55),
         ("xml", 0.70, 0.50),
     ],

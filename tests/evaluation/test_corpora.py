@@ -1,9 +1,10 @@
-"""The Figure 7(b) test-suite corpora must be valid for their parsers."""
+"""The fixed corpora must be valid for their parsers: the Figure 7(b)
+proxies and the harness's recall corpora both claim every entry ∈ L*."""
 
 import pytest
 
-from repro.evaluation.corpora import CORPORA
-from repro.programs import get_subject
+from repro.evaluation.corpora import CORPORA, EVAL_CORPORA, eval_corpus
+from repro.programs import SUBJECT_NAMES, get_subject
 
 
 @pytest.mark.parametrize("name", sorted(CORPORA))
@@ -11,6 +12,27 @@ def test_corpus_entries_all_valid(name):
     subject = get_subject(name)
     invalid = [c for c in CORPORA[name] if not subject.accepts(c)]
     assert invalid == []
+
+
+@pytest.mark.parametrize("name", sorted(EVAL_CORPORA))
+def test_eval_corpus_entries_all_valid(name):
+    """Recall is measured against these exact strings; an invalid entry
+    would penalize every learned grammar unconditionally."""
+    subject = get_subject(name)
+    invalid = [c for c in EVAL_CORPORA[name] if not subject.accepts(c)]
+    assert invalid == []
+
+
+def test_every_subject_has_an_eval_corpus():
+    assert sorted(EVAL_CORPORA) == sorted(SUBJECT_NAMES)
+
+
+@pytest.mark.parametrize("name", sorted(EVAL_CORPORA))
+def test_eval_corpus_prepends_seeds(name):
+    subject = get_subject(name)
+    corpus = eval_corpus(name)
+    assert corpus[: len(subject.seeds)] == list(subject.seeds)
+    assert len(corpus) > len(subject.seeds)
 
 
 @pytest.mark.parametrize("name", sorted(CORPORA))

@@ -93,6 +93,7 @@ class TestFig7:
             samples = harness.generate(fuzzer, 40)
             assert len(samples) == 40
 
+    @pytest.mark.slow
     def test_fig7a_subset(self):
         rows = run_fig7a(subjects=["xml"], n_samples=120)
         by_fuzzer = {r.fuzzer: r for r in rows}
@@ -106,6 +107,7 @@ class TestFig7:
         rendered = format_fig7(rows, "t")
         assert "glade" in rendered
 
+    @pytest.mark.slow
     def test_fig7c_series(self):
         series = run_fig7c(
             subject_name="xml", checkpoints=(40, 80)
@@ -115,6 +117,7 @@ class TestFig7:
 
 
 class TestFig8:
+    @pytest.mark.slow
     def test_sample_is_valid_xml(self):
         result = run_fig8(n_candidates=150)
         assert result.valid
