@@ -23,7 +23,7 @@ import time
 
 from repro.core.glade import GladeConfig
 from repro.core.gtree import stars_of
-from repro.core.phase2 import MergeCommitter, merge_repetitions, plan_merges
+from repro.core.phase2 import MergeCommitter, plan_merges
 from repro.core.pipeline import LearningPipeline
 from repro.exec.backends import make_executor
 from repro.exec.merge_shard import run_merge_wavefront

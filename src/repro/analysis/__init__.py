@@ -1,0 +1,40 @@
+"""detlint: determinism & parallel-safety static analysis (``repro lint``).
+
+The reproduction's headline property — byte-identical grammars,
+decision logs, and query counts at any ``--jobs`` count — is a
+correctness property of the paper's evaluation (§8.3 counts oracle
+queries), not a nicety. PRs 3-5 each had to hunt a fresh nondeterminism
+bug after the fact: the process-salted ``hash()`` seeding in fig7 and
+``CachingOracle``, the global ``_star_counter``, a live dict crossing a
+pickle boundary in the merge planner. This package is the compiler-
+style pass that rejects those hazard classes before they ship.
+
+Layout:
+
+- :mod:`repro.analysis.findings` — the :class:`Finding` record and its
+  JSON encoding;
+- :mod:`repro.analysis.suppressions` — ``# detlint: disable=RULE``
+  comment parsing;
+- :mod:`repro.analysis.baseline` — the committed-findings baseline
+  (fingerprints stable under line drift);
+- :mod:`repro.analysis.project` — the whole-project index (modules,
+  imports, functions, module-level mutable bindings, call graph) that
+  the cross-module rules walk;
+- :mod:`repro.analysis.engine` — drives rules over files/directories;
+- :mod:`repro.analysis.rules` — the rule registry (DET001-DET004,
+  PAR001-PAR002);
+- :mod:`repro.analysis.cli` — the ``repro lint`` subcommand.
+"""
+
+from repro.analysis.engine import AnalysisResult, analyze_paths
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES, get_rule, rule_ids
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "RULES",
+    "analyze_paths",
+    "get_rule",
+    "rule_ids",
+]

@@ -1,0 +1,152 @@
+"""The ``repro lint`` subcommand: run detlint, report, gate.
+
+Exit status contract (what CI's lint-gate relies on):
+
+- ``0`` — no findings outside the suppression/baseline layers;
+- ``1`` — at least one *new* finding and ``--check`` was given;
+- ``2`` — usage/environment error (bad path, unreadable baseline).
+
+Without ``--check`` the command always reports and exits 0, so it can
+run informationally in editors and pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import List, Optional, Set
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import AnalysisResult, analyze_paths
+from repro.analysis.findings import (
+    STATUS_BASELINED,
+    STATUS_NEW,
+    STATUS_SUPPRESSED,
+)
+from repro.analysis.rules import RULES, rule_ids
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach ``repro lint`` options to an argparse subparser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all of {})".format(
+            ",".join(rule_ids())
+        ),
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="findings baseline to tolerate (default: {} when it "
+        "exists)".format(DEFAULT_BASELINE_NAME),
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", metavar="PATH",
+        help="write the full findings report as JSON (use '-' for "
+        "stdout)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any non-suppressed, non-baselined finding "
+        "remains (the CI gate)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-finding lines; print only the summary",
+    )
+
+
+def _resolve_baseline(args) -> Optional[Set[str]]:
+    if args.write_baseline:
+        return None
+    if args.baseline is not None:
+        return load_baseline(args.baseline)
+    default = pathlib.Path(DEFAULT_BASELINE_NAME)
+    if default.exists():
+        return load_baseline(default)
+    return None
+
+
+def _report_json(result: AnalysisResult, destination: str) -> None:
+    data = {
+        "kind": "detlint-report",
+        "version": 1,
+        "files_analyzed": result.files_analyzed,
+        "rules": [
+            {"id": rule.rule_id, "title": rule.title} for rule in RULES
+        ],
+        "counts": result.counts(),
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    text = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    if destination == "-":
+        sys.stdout.write(text)
+    else:
+        pathlib.Path(destination).write_text(text)
+
+
+def run_lint(args) -> int:
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if
+                  part.strip()]
+    try:
+        baseline = _resolve_baseline(args)
+    except BaselineError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    try:
+        result = analyze_paths(
+            args.paths, select=select, baseline_fingerprints=baseline
+        )
+    except FileNotFoundError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        destination = args.baseline or DEFAULT_BASELINE_NAME
+        gated = [
+            f for f in result.findings if f.status != STATUS_SUPPRESSED
+        ]
+        save_baseline(gated, destination)
+        print(
+            "baseline written to {} ({} finding{})".format(
+                destination, len(gated), "" if len(gated) == 1 else "s"
+            )
+        )
+        return 0
+
+    if args.json_out:
+        _report_json(result, args.json_out)
+
+    new = result.new_findings()
+    if not args.quiet:
+        for finding in new:
+            print(finding.format_human())
+    counts = result.counts()
+    summary = (
+        "detlint: {} file(s), {} new finding(s), {} baselined, "
+        "{} suppressed".format(
+            result.files_analyzed,
+            counts.get(STATUS_NEW, 0),
+            counts.get(STATUS_BASELINED, 0),
+            counts.get(STATUS_SUPPRESSED, 0),
+        )
+    )
+    print(summary)
+    if args.check and new:
+        return 1
+    return 0

@@ -1,0 +1,127 @@
+"""The detlint driver: collect sources, run rules, classify findings.
+
+``analyze_paths`` is the one entry point: it parses every ``.py`` file
+under the given paths into a :class:`~repro.analysis.project.
+ProjectIndex`, runs each registered rule once over the project, then
+applies the two filtering layers in order:
+
+1. **suppressions** — ``# detlint: disable=RULE`` comments mark a
+   finding ``suppressed`` (benign by design, rationale in the source);
+2. **baseline** — fingerprints present in the committed baseline mark
+   a finding ``baselined`` (known debt, counted but not gating).
+
+Whatever remains ``new`` is what ``--check`` fails on.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Union
+
+from repro.analysis.baseline import apply_baseline, assign_fingerprints
+from repro.analysis.findings import (
+    STATUS_NEW,
+    STATUS_SUPPRESSED,
+    Finding,
+)
+from repro.analysis.project import ModuleSource, ProjectIndex
+from repro.analysis.rules import RULES, Rule
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    project: Optional[ProjectIndex] = None
+
+    def new_findings(self) -> List[Finding]:
+        return [f for f in self.findings if f.status == STATUS_NEW]
+
+    def counts(self) -> dict:
+        by_status: dict = {}
+        for finding in self.findings:
+            by_status[finding.status] = by_status.get(finding.status, 0) + 1
+        return by_status
+
+
+def _iter_python_files(path: pathlib.Path):
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for file in sorted(path.rglob("*.py")):
+        if "__pycache__" in file.parts:
+            continue
+        yield file
+
+
+def collect_modules(
+    paths: Sequence[Union[str, pathlib.Path]]
+) -> List[ModuleSource]:
+    """Parse every Python file under the given paths.
+
+    The reporting path (and hence the baseline fingerprint) for a file
+    is the scan root's basename joined with the file's path below it —
+    stable regardless of the working directory the linter ran from.
+    """
+    modules: List[ModuleSource] = []
+    seen: Set[pathlib.Path] = set()
+    for raw in paths:
+        root = pathlib.Path(raw).resolve()
+        if not root.exists():
+            raise FileNotFoundError("no such file or directory: " + str(raw))
+        for file in _iter_python_files(root):
+            file = file.resolve()
+            if file in seen:
+                continue
+            seen.add(file)
+            if file == root:
+                relpath = root.name
+            else:
+                relpath = "/".join(
+                    (root.name,) + file.relative_to(root).parts
+                )
+            module = ModuleSource.parse(file, relpath)
+            if module is not None:
+                modules.append(module)
+    return modules
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, pathlib.Path]],
+    select: Optional[Sequence[str]] = None,
+    baseline_fingerprints: Optional[Set[str]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisResult:
+    """Run detlint over the given files/directories."""
+    modules = collect_modules(paths)
+    project = ProjectIndex.build(modules)
+    active = list(rules if rules is not None else RULES)
+    if select:
+        wanted = {rule_id.upper() for rule_id in select}
+        active = [rule for rule in active if rule.rule_id in wanted]
+    findings: List[Finding] = []
+    for rule in active:
+        findings.extend(rule.check_project(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    # Layer 1: suppression comments.
+    by_modname = {m.relpath: m for m in modules}
+    for finding in findings:
+        module = by_modname.get(finding.path)
+        if module is not None and module.suppressions.is_suppressed(
+            finding.line, finding.rule
+        ):
+            finding.status = STATUS_SUPPRESSED
+    # Fingerprints cover every finding (so --write-baseline can list
+    # them all); layer 2 marks the baselined ones.
+    assign_fingerprints(findings)
+    if baseline_fingerprints:
+        apply_baseline(findings, baseline_fingerprints)
+    return AnalysisResult(
+        findings=findings,
+        files_analyzed=len(modules),
+        project=project,
+    )

@@ -1,0 +1,77 @@
+"""The finding record every detlint rule emits.
+
+A finding pinpoints one hazard occurrence: rule id, location, message,
+and the source line it anchors to. The *fingerprint* (see
+:mod:`repro.analysis.baseline`) is derived from the path, rule, and
+line text — not the line number — so a committed baseline survives
+unrelated edits above the finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Finding dispositions after suppression/baseline filtering.
+STATUS_NEW = "new"
+STATUS_BASELINED = "baselined"
+STATUS_SUPPRESSED = "suppressed"
+
+
+@dataclass
+class Finding:
+    """One hazard occurrence reported by a rule."""
+
+    rule: str
+    #: Path relative to the lint root (stable across checkouts).
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line the finding anchors to (fingerprint
+    #: ingredient; also what humans see in the report).
+    line_text: str = ""
+    #: ``new`` | ``baselined`` | ``suppressed`` — set by the engine.
+    status: str = STATUS_NEW
+    #: Set by the engine: stable identity for baseline matching.
+    fingerprint: str = ""
+    #: Optional rule-specific context (e.g. PAR001's call chain).
+    detail: Optional[str] = field(default=None)
+
+    def location(self) -> str:
+        return "{}:{}:{}".format(self.path, self.line, self.col)
+
+    def format_human(self) -> str:
+        text = "{}: {} {}".format(self.location(), self.rule, self.message)
+        if self.detail:
+            text += " [{}]".format(self.detail)
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "line_text": self.line_text,
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+        }
+        if self.detail is not None:
+            data["detail"] = self.detail
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            col=data.get("col", 0),
+            message=data.get("message", ""),
+            line_text=data.get("line_text", ""),
+            status=data.get("status", STATUS_NEW),
+            fingerprint=data.get("fingerprint", ""),
+            detail=data.get("detail"),
+        )

@@ -1,0 +1,92 @@
+"""DET002: ambient-module or unseeded RNG in library code.
+
+Every sampling path in the reproduction must be a pure function of an
+explicit seed — that is what makes grammars, fig-4/7/8 metrics, and
+the suite artifact byte-identical across runs and job counts. Two
+hazard shapes:
+
+- **ambient module RNG**: ``random.random()``, ``random.choice()``,
+  ... consult the interpreter-global generator, whose state depends on
+  every other consumer and on process boundaries;
+- **unseeded instances**: ``random.Random()`` (no argument) seeds from
+  the OS entropy pool; ``random.SystemRandom()`` is nondeterministic
+  by construction.
+
+``random.Random(seed)`` with an explicit argument is the sanctioned
+form — see ``repro.determinism.DEFAULT_RNG_SEED`` for the shared
+default the fuzzers and samplers use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleSource, ProjectIndex
+from repro.analysis.rules import Rule
+
+#: random-module functions that consult the shared global generator.
+_AMBIENT_FUNCTIONS = {
+    "random.betavariate",
+    "random.choice",
+    "random.choices",
+    "random.expovariate",
+    "random.gauss",
+    "random.getrandbits",
+    "random.lognormvariate",
+    "random.normalvariate",
+    "random.paretovariate",
+    "random.randbytes",
+    "random.randint",
+    "random.random",
+    "random.randrange",
+    "random.sample",
+    "random.seed",
+    "random.shuffle",
+    "random.triangular",
+    "random.uniform",
+    "random.vonmisesvariate",
+    "random.weibullvariate",
+}
+
+
+class AmbientRngRule(Rule):
+    rule_id = "DET002"
+    title = "ambient or unseeded RNG in library code"
+
+    def check_module(
+        self, module: ModuleSource, project: ProjectIndex
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve_dotted(node.func)
+            if resolved is None:
+                continue
+            if resolved in _AMBIENT_FUNCTIONS:
+                yield self.finding(
+                    module,
+                    node,
+                    "{}() uses the ambient module RNG; thread an "
+                    "explicitly seeded random.Random through "
+                    "instead".format(resolved),
+                )
+            elif resolved == "random.SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom is nondeterministic by "
+                    "construction; use an explicitly seeded "
+                    "random.Random",
+                )
+            elif resolved == "random.Random" and not node.args:
+                # Random(seed) is fine; Random() seeds from OS entropy.
+                if not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "random.Random() without a seed draws OS "
+                        "entropy; pass an explicit seed "
+                        "(e.g. repro.determinism.DEFAULT_RNG_SEED)",
+                    )

@@ -1,0 +1,198 @@
+"""DET003: wall-clock values flowing into deterministic metric fields.
+
+The suite artifact (:mod:`repro.artifacts.suite`) is split by
+determinism contract: ``SubjectMetrics`` fields must be byte-identical
+across runs and job counts (CI compares them), while ``SubjectPerf``
+fields are declared perf-class and may vary. Timing a stage is fine —
+*recording* the timing in a compared field silently breaks the
+eval-gate for every future run.
+
+The rule tracks, per function, values tainted by wall-clock sources
+(``time.time``, ``time.perf_counter``, ``time.monotonic``,
+``datetime.now`` and friends, including arithmetic over tainted
+locals), and flags taints reaching a deterministic sink:
+
+- an attribute assignment ``x.<field> = ...`` where ``<field>`` is a
+  ``SubjectMetrics`` field name;
+- a ``SubjectMetrics(...)`` keyword argument that is not perf-class;
+- a subscript store ``x["<field>"] = ...`` with a deterministic field
+  name.
+
+The field sets are read from the live dataclasses, so extending the
+schema automatically extends the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleSource, ProjectIndex
+from repro.analysis.rules import Rule
+
+#: Callables whose return value is wall-clock-dependent.
+WALL_CLOCK_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "datetime.now",
+    "datetime.utcnow",
+}
+
+
+def _contract_fields() -> tuple:
+    """(deterministic, perf) field-name sets from the live schema."""
+    try:
+        import dataclasses
+
+        from repro.artifacts.suite import SubjectMetrics, SubjectPerf
+
+        deterministic = {f.name for f in dataclasses.fields(SubjectMetrics)}
+        perf = {f.name for f in dataclasses.fields(SubjectPerf)}
+        return deterministic, perf
+    except Exception:
+        # Linting a tree where the schema module is absent/broken:
+        # fall back to the shipped contract so the rule still works.
+        deterministic = {
+            "grammar_digest", "grammar_productions", "oracle_queries",
+            "unique_queries", "seeds_used", "seeds_skipped", "precision",
+            "recall", "fuzz_valid_fraction", "fuzz_new_lines",
+            "sample_valid", "sample_length",
+        }
+        perf = {
+            "synthesis_seconds", "metrics_seconds", "speculative_queries",
+        }
+        return deterministic, perf
+
+
+DETERMINISTIC_FIELDS, PERF_FIELDS = _contract_fields()
+
+
+def _is_source_call(module: ModuleSource, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    resolved = module.resolve_dotted(node.func)
+    return resolved in WALL_CLOCK_SOURCES
+
+
+def _tainted(module: ModuleSource, node: ast.AST, names: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if _is_source_call(module, sub):
+            return True
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if sub.id in names:
+                return True
+    return False
+
+
+def _function_taints(
+    module: ModuleSource, func: ast.AST
+) -> Set[str]:
+    """Local names (transitively) bound to wall-clock values."""
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                value = node.value
+                if value is None or not _tainted(module, value, tainted):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id not in tainted:
+                            tainted.add(target.id)
+                            changed = True
+    return tainted
+
+
+class WallClockRule(Rule):
+    rule_id = "DET003"
+    title = "wall-clock value recorded in a deterministic metric field"
+
+    def check_module(
+        self, module: ModuleSource, project: ProjectIndex
+    ) -> Iterable[Finding]:
+        funcs = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        # Module-level statements form an implicit scope too. Walking
+        # module.tree revisits every function body, so findings are
+        # deduplicated by sink node: the per-function pass (with the
+        # precise taint set) sees each sink first.
+        scopes = funcs + [module.tree]
+        seen: Set[int] = set()
+        for scope in scopes:
+            tainted = _function_taints(module, scope)
+            for finding, node in self._check_scope(module, scope, tainted):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                yield finding
+
+    def _check_scope(
+        self, module: ModuleSource, scope: ast.AST, tainted: Set[str]
+    ) -> Iterable[tuple]:
+        """Yield ``(finding, sink_node)`` pairs for dedup by caller."""
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    field = _sink_field(target)
+                    if field is None:
+                        continue
+                    if _tainted(module, node.value, tainted):
+                        yield self.finding(
+                            module,
+                            node,
+                            "wall-clock value stored in deterministic "
+                            "metric field {!r}; timing belongs in a "
+                            "perf-class field ({})".format(
+                                field,
+                                ", ".join(sorted(PERF_FIELDS)),
+                            ),
+                        ), target
+            elif isinstance(node, ast.Call):
+                resolved = module.resolve_dotted(node.func) or ""
+                if resolved.rpartition(".")[2] != "SubjectMetrics":
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg is None:
+                        continue
+                    if keyword.arg in PERF_FIELDS:
+                        continue
+                    if _tainted(module, keyword.value, tainted):
+                        yield self.finding(
+                            module,
+                            keyword.value,
+                            "wall-clock value passed as SubjectMetrics "
+                            "field {!r}; deterministic fields may not "
+                            "carry timing data".format(keyword.arg),
+                        ), keyword.value
+
+
+def _sink_field(target: ast.AST):
+    """The deterministic field name a store targets, if any."""
+    if isinstance(target, ast.Attribute):
+        if target.attr in DETERMINISTIC_FIELDS:
+            return target.attr
+    if isinstance(target, ast.Subscript):
+        index = target.slice
+        if isinstance(index, ast.Constant) and isinstance(index.value, str):
+            if index.value in DETERMINISTIC_FIELDS:
+                return index.value
+    return None

@@ -1,0 +1,209 @@
+"""DET004: set iteration feeding ordered sinks without ``sorted()``.
+
+Set iteration order depends on insertion history *and* on the salted
+string hash, so any ordered artifact built from it — a list, a joined
+string, JSON output, a checkpoint — differs across processes. The fix
+is mechanical: wrap the iterable in ``sorted()`` at the point of
+iteration (order-insensitive reductions like ``sum``/``min``/``max``/
+membership never need it).
+
+Flagged shapes, when the iterable is *set-ish* (a set literal/
+comprehension, a ``set()``/``frozenset()`` call, a set-algebra method
+call, or a local name only ever assigned such values):
+
+- ``list(s)`` / ``tuple(s)`` — materializes the unordered order;
+- ``sep.join(s)`` — ordered string from unordered parts;
+- a list/generator comprehension over it whose consumer is not an
+  order-insensitive reducer (``sorted``, ``sum``, ``min``, ``max``,
+  ``any``, ``all``, ``len``, ``set``, ``frozenset``);
+- a ``for`` loop over it whose body appends/yields/writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ModuleSource,
+    ProjectIndex,
+    parent_of,
+)
+from repro.analysis.rules import Rule
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {
+    "union", "intersection", "difference", "symmetric_difference",
+}
+#: Consumers for which iteration order cannot matter.
+_ORDER_INSENSITIVE = {
+    "sorted", "sum", "min", "max", "any", "all", "len", "set",
+    "frozenset", "Counter", "collections.Counter",
+}
+#: Loop-body operations that make order observable.
+_ORDERED_BODY_METHODS = {
+    "append", "extend", "insert", "write", "writelines", "put",
+}
+
+
+def _is_setish_expr(module: ModuleSource, node: ast.AST,
+                    local_sets: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in local_sets:
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            if node.func.id in _SET_CONSTRUCTORS:
+                return True
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _SET_METHODS:
+                return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # s | t, s & t, s - t, s ^ t over set-ish operands.
+        return _is_setish_expr(
+            module, node.left, local_sets
+        ) or _is_setish_expr(module, node.right, local_sets)
+    return False
+
+
+def _local_set_names(module: ModuleSource, scope: ast.AST) -> Set[str]:
+    """Names assigned only set-ish values within the scope."""
+    setish: Dict[str, bool] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    is_set = _is_setish_expr(module, node.value, set())
+                    previous = setish.get(target.id)
+                    setish[target.id] = (
+                        is_set if previous is None else previous and is_set
+                    )
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                is_set = _is_setish_expr(module, node.value, set())
+                previous = setish.get(node.target.id)
+                setish[node.target.id] = (
+                    is_set if previous is None else previous and is_set
+                )
+    return {name for name, flag in setish.items() if flag}
+
+
+def _consuming_call(node: ast.AST) -> Optional[ast.Call]:
+    """The call this expression is a direct argument of, if any."""
+    parent = parent_of(node)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return parent
+    return None
+
+
+def _call_name(module: ModuleSource, call: ast.Call) -> str:
+    return module.resolve_dotted(call.func) or ""
+
+
+class SetOrderRule(Rule):
+    rule_id = "DET004"
+    title = "unordered set iteration feeding an ordered sink"
+
+    def check_module(
+        self, module: ModuleSource, project: ProjectIndex
+    ) -> Iterable[Finding]:
+        scopes = [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ] + [module.tree]
+        seen: Set[int] = set()
+        for scope in scopes:
+            local_sets = _local_set_names(module, scope)
+            for finding_node, message in self._scan(
+                module, scope, local_sets
+            ):
+                key = id(finding_node)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(module, finding_node, message)
+
+    def _scan(self, module, scope, local_sets):
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Call):
+                yield from self._scan_call(module, node, local_sets)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                yield from self._scan_comp(module, node, local_sets)
+            elif isinstance(node, ast.For):
+                yield from self._scan_for(module, node, local_sets)
+
+    def _scan_call(self, module, node, local_sets):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+            "list", "tuple"
+        ):
+            if node.args and _is_setish_expr(
+                module, node.args[0], local_sets
+            ):
+                yield (
+                    node,
+                    "{}() over a set materializes nondeterministic "
+                    "order; use sorted(...)".format(node.func.id),
+                )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            if _is_setish_expr(module, node.args[0], local_sets):
+                yield (
+                    node,
+                    "join() over a set produces a nondeterministic "
+                    "string; wrap the iterable in sorted(...)",
+                )
+
+    def _scan_comp(self, module, node, local_sets):
+        if not any(
+            _is_setish_expr(module, gen.iter, local_sets)
+            for gen in node.generators
+        ):
+            return
+        consumer = _consuming_call(node)
+        if consumer is not None:
+            name = _call_name(module, consumer)
+            if (
+                name in _ORDER_INSENSITIVE
+                or name.rpartition(".")[2] in _ORDER_INSENSITIVE
+            ):
+                return
+        if isinstance(node, ast.GeneratorExp) and consumer is None:
+            # A bare generator: order only observable if consumed by
+            # an ordered consumer, which this scan cannot see — stay
+            # silent rather than guess.
+            return
+        yield (
+            node,
+            "comprehension over a set feeds an order-sensitive "
+            "consumer; iterate sorted(...) instead",
+        )
+
+    def _scan_for(self, module, node, local_sets):
+        if not _is_setish_expr(module, node.iter, local_sets):
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                yield (
+                    node,
+                    "for-loop over a set yields in nondeterministic "
+                    "order; iterate sorted(...) instead",
+                )
+                return
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ):
+                if sub.func.attr in _ORDERED_BODY_METHODS:
+                    yield (
+                        node,
+                        "for-loop over a set feeds {}() in "
+                        "nondeterministic order; iterate sorted(...) "
+                        "instead".format(sub.func.attr),
+                    )
+                    return

@@ -1,0 +1,107 @@
+"""PAR002: pool/lock/subprocess holders without ``__getstate__``.
+
+The process execution backend pickles oracles and payloads into
+workers. An object holding a thread pool, a lock, or a live subprocess
+either fails to pickle (a hard error at fan-out time) or — worse —
+pickles a stale handle that silently misbehaves in the worker.
+:class:`repro.learning.oracle.SubprocessOracle` is the precedent: its
+lazily created ``ThreadPoolExecutor`` and guard lock are process-local
+state, dropped in ``__getstate__`` and rebuilt in ``__setstate__`` so
+a pickled copy starts clean. Every class that acquires such a resource
+must make the same decision explicitly.
+
+Flagged: a class any of whose methods assigns ``self.<attr>`` from a
+pool/lock/subprocess constructor, when the class defines neither
+``__getstate__`` nor ``__reduce__``/``__reduce_ex__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import ModuleSource, ProjectIndex
+from repro.analysis.rules import Rule
+
+#: Constructors whose results must not cross a pickle boundary.
+UNPICKLABLE_CONSTRUCTORS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Barrier",
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.Lock",
+    "multiprocessing.Manager",
+    "subprocess.Popen",
+    "Popen",
+}
+
+_ESCAPE_HATCHES = {"__getstate__", "__reduce__", "__reduce_ex__"}
+
+
+def _held_resources(
+    module: ModuleSource, cls: ast.ClassDef
+) -> List[Tuple[ast.AST, str, str]]:
+    """(node, attr, constructor) for every unpicklable self-assignment."""
+    held: List[Tuple[ast.AST, str, str]] = []
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        resolved = module.resolve_dotted(value.func)
+        if resolved is None or resolved not in UNPICKLABLE_CONSTRUCTORS:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                held.append((node, target.attr, resolved))
+    return held
+
+
+class UnpicklableStateRule(Rule):
+    rule_id = "PAR002"
+    title = "pool/lock/subprocess holder without __getstate__"
+
+    def check_module(
+        self, module: ModuleSource, project: ProjectIndex
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            held = _held_resources(module, node)
+            if not held:
+                continue
+            methods = {
+                sub.name
+                for sub in node.body
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if methods & _ESCAPE_HATCHES:
+                continue
+            attrs = ", ".join(
+                "self.{} = {}()".format(attr, ctor)
+                for _n, attr, ctor in held
+            )
+            yield self.finding(
+                module,
+                node,
+                "class {!r} holds unpicklable process-local state but "
+                "defines no __getstate__; a pickled copy (process "
+                "backend) breaks or silently shares handles".format(
+                    node.name
+                ),
+                detail=attrs,
+            )

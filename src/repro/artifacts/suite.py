@@ -33,7 +33,7 @@ import pathlib
 import platform
 import sys
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Union
 
 from repro.artifacts.schema import ArtifactError
 

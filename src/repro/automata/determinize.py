@@ -28,7 +28,10 @@ def nfa_to_dfa(nfa: NFA, alphabet: Iterable[str]) -> DFA:
         state = index[current]
         if nfa.accept in current:
             accepting.add(state)
-        for char in alphabet:
+        # Sorted, not raw set order: subset-state numbering (and with
+        # it the transition table layout) must not depend on the salted
+        # iteration order of the alphabet set (detlint DET004).
+        for char in sorted(alphabet):
             moved = nfa.step(current, char)
             if not moved:
                 continue

@@ -9,7 +9,7 @@ partial automata over large alphabets (printable ASCII) stay small.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.languages.cfg import Grammar, Nonterminal, Production
 

@@ -30,6 +30,7 @@ import shlex
 import sys
 from typing import List, Tuple
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.artifacts import (
     ArtifactError,
     FileCheckpointStore,
@@ -220,6 +221,10 @@ def _cmd_show(args, parser) -> int:
     artifact = load_artifact(args.artifact)
     print(summarize_artifact(artifact))
     return 0
+
+
+def _cmd_lint(args, parser) -> int:
+    return run_lint(args)
 
 
 def _cmd_eval(args, parser) -> int:
@@ -455,6 +460,22 @@ def main(argv=None) -> int:
         help="base PRNG seed for every sampling path (default 0)",
     )
     evaluate.set_defaults(handler=_cmd_eval)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & parallel-safety static analyzer",
+        description=(
+            "detlint: AST-based checks for the hazard classes that "
+            "have historically broken the byte-identical-at-any-jobs "
+            "guarantee (salted hash() seeding, ambient RNG, wall-clock "
+            "in deterministic metrics, unordered set iteration, "
+            "executor tasks touching shared state, unpicklable "
+            "resource holders). See EXPERIMENTS.md for the invariant "
+            "each rule encodes and how to suppress or extend rules."
+        ),
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     args = parser.parse_args(argv)
     try:

@@ -13,7 +13,7 @@ XML example's ``h`` widening to ``a + ... + z``.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable
 
 from repro.core.gtree import GNode, constants_of
 from repro.learning.oracle import Oracle, query_many

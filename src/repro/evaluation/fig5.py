@@ -11,7 +11,7 @@ the target definition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import List, Sequence
 
 from repro.core.glade import GladeConfig, GladeResult, learn_grammar
 

@@ -48,6 +48,10 @@ from repro.core.phase2 import (
 from repro.exec.backends import Executor
 from repro.learning.oracle import Oracle, query_many
 
+#: Worker functions executor backends run as task payloads (walked by
+#: detlint's PAR001 shared-state race detector).
+TASK_ENTRY_POINTS = ("run_pair_task",)
+
 
 @dataclass
 class PairOutcome:

@@ -41,6 +41,12 @@ from repro.exec.backends import Executor
 from repro.languages.engine import MembershipSession
 from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
 
+#: Worker functions executor backends run as task payloads. detlint's
+#: PAR001 walks the call graph from every function registered here and
+#: rejects reads/writes of module-level mutable state (the global
+#: ``_star_counter`` bug class) before they ship.
+TASK_ENTRY_POINTS = ("run_seed_task",)
+
 
 @dataclass
 class SeedResult:

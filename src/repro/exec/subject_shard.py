@@ -28,6 +28,10 @@ from repro.core.glade import GladeConfig
 from repro.core.pipeline import LearningPipeline
 from repro.exec.backends import Executor
 
+#: Worker functions executor backends run as task payloads (walked by
+#: detlint's PAR001 shared-state race detector).
+TASK_ENTRY_POINTS = ("learn_subject_task",)
+
 
 @dataclass
 class SubjectResult:

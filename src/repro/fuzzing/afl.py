@@ -20,9 +20,10 @@ exactly what GLADE's comparison in Figure 7 exercises.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
+from repro.determinism import resolve_rng
 from repro.programs.coverage import CoverageTracer
 
 _INTERESTING = ["0", "1", "9", "255", "-1", " ", "\n", "a", "<", "(", '"']
@@ -50,7 +51,7 @@ class AFLFuzzer:
         det_flip_limit: int = 128,
     ):
         self.subject = subject
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = resolve_rng(rng)
         self.max_input_length = max_input_length
         self.havoc_per_entry = havoc_per_entry
         self.det_flip_limit = det_flip_limit

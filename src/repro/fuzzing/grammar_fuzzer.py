@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import os
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
+from repro.determinism import resolve_rng
 from repro.languages.cfg import Grammar, ParseTree
 from repro.languages.earley import parse
 from repro.languages.sampler import GrammarSampler
@@ -42,7 +43,7 @@ class GrammarFuzzer:
         if not seeds:
             raise ValueError("GrammarFuzzer requires at least one seed")
         self.grammar = grammar
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = resolve_rng(rng)
         self.max_mutations = max_mutations
         self.sampler = GrammarSampler(
             grammar, rng=self.rng, max_depth=max_sample_depth

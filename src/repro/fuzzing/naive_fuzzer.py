@@ -11,6 +11,8 @@ from __future__ import annotations
 import random
 from typing import Iterator, List, Optional, Sequence
 
+from repro.determinism import resolve_rng
+
 
 class NaiveFuzzer:
     """Random insert/delete mutations over seed inputs."""
@@ -28,7 +30,7 @@ class NaiveFuzzer:
             raise ValueError("NaiveFuzzer requires a nonempty alphabet")
         self.seeds = list(seeds)
         self.alphabet = alphabet
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = resolve_rng(rng)
         self.max_mutations = max_mutations
 
     def generate_one(self) -> str:

@@ -17,7 +17,7 @@ the Earley parser and the sampler both understand them natively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ from repro.languages.cfg import (
     Grammar,
     Nonterminal,
     ParseTree,
-    Production,
+    
     Symbol,
 )
 

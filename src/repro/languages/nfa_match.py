@@ -10,7 +10,7 @@ matching with no pathological blowup, unlike backtracking engines.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.languages import regex as rx
 

@@ -13,7 +13,7 @@ expression are cheap.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterator, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterator, Sequence, Tuple
 
 
 class Regex:

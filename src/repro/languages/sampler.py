@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional, Union
 
+from repro.determinism import resolve_rng
 from repro.languages import regex as rx
 from repro.languages.cfg import (
     CharSet,
@@ -38,7 +39,7 @@ class GrammarSampler:
         max_nodes: int = 4000,
     ):
         self.grammar = grammar
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = resolve_rng(rng)
         self.max_depth = max_depth
         self.max_nodes = max_nodes
         self._nodes_sampled = 0
@@ -147,7 +148,7 @@ def sample_regex(
     uniformly. Used to sample regular target languages (e.g. the URL
     grammar of §8.2) and to drive L-Star's sampling equivalence oracle.
     """
-    rng = rng if rng is not None else random.Random(0)
+    rng = resolve_rng(rng)
 
     def go(node: rx.Regex) -> str:
         if isinstance(node, rx.Epsilon):

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.automata.dfa import DFA
+from repro.determinism import resolve_rng
 from repro.learning.oracle import Oracle
 
 # An equivalence oracle returns a counterexample string, or None to accept.
@@ -58,7 +59,7 @@ class SamplingEquivalenceOracle:
         self.positive_sampler = positive_sampler
         self.n_samples = n_samples
         self.max_random_length = max_random_length
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = resolve_rng(rng)
 
     def __call__(self, hypothesis: DFA) -> Optional[str]:
         for seed in self.seeds:

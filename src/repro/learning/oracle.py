@@ -276,6 +276,20 @@ class BudgetOracle:
         self._charge(len(texts))
         return query_many(self._oracle, texts)
 
+    def __getstate__(self) -> dict:
+        # The budget guard lock is process-local (detlint PAR002): a
+        # pickled copy shipped to a process-pool worker starts with a
+        # fresh lock and its own snapshot of the count. Cross-process
+        # budget accounting is the parent's job — workers only ever
+        # see per-task slices of the budget.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 def grammar_oracle(grammar) -> Oracle:
     """Membership oracle for a CFG, decided by Earley parsing."""

@@ -10,7 +10,7 @@ alphabet used by GLADE's character generalization and the naive fuzzer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import ModuleType
 from typing import Callable, List
 

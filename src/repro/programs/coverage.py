@@ -19,7 +19,7 @@ import ast
 import inspect
 import sys
 from types import FrameType, ModuleType
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 # A covered line is (filename, lineno); an edge is (filename, prev, cur).
 Line = Tuple[str, int]

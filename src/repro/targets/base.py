@@ -17,7 +17,7 @@ accepted by the recognizer.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.languages.cfg import Grammar

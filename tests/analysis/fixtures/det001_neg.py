@@ -1,0 +1,23 @@
+"""DET001 negative fixture: legitimate hash() uses. Zero findings."""
+
+
+class Key:
+    def __init__(self, left, right):
+        self.left = left
+        self.right = right
+
+    def __hash__(self):
+        # In-process hashing for dict/set membership is fine; only
+        # values that escape the process (seeds, digests, ordering)
+        # must avoid the salted builtin.
+        return hash((self.left, self.right))
+
+    def __eq__(self, other):
+        return (self.left, self.right) == (other.left, other.right)
+
+
+def bucket_count(pairs):
+    table = {}
+    for key, value in pairs:
+        table[Key(key, value)] = value
+    return len(table)

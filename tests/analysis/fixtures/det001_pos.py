@@ -1,0 +1,22 @@
+"""DET001 positive fixture: salted hash() reaching seeds/digests.
+
+Every function here must produce exactly one DET001 finding.
+"""
+
+import random
+
+
+def fig7_style_seed(fuzzer, seed):
+    # The PR-5 fig7 bug, verbatim shape: builtin hash() over a tuple
+    # containing a string, fed straight into an RNG seed. The value
+    # changes per process under PYTHONHASHSEED salting.
+    return random.Random(hash(("fig7", fuzzer, seed)))
+
+
+def digest_of(payload):
+    digest = hash(payload)
+    return digest
+
+
+def cache_key(name):
+    return hash("cache:" + name)

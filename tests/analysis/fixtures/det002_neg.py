@@ -1,0 +1,13 @@
+"""DET002 negative fixture: explicitly seeded RNG. Zero findings."""
+
+import random
+
+
+def seeded(seed):
+    return random.Random(seed)
+
+
+def draw(rng, options):
+    # An injected random.Random instance is the sanctioned pattern:
+    # the caller owns seeding, so methods on it are deterministic.
+    return rng.choice(options)

@@ -1,0 +1,18 @@
+"""DET002 positive fixture: ambient / unseeded RNG. Three findings."""
+
+import random
+from random import Random
+
+
+def ambient_choice(options):
+    return random.choice(options)
+
+
+def unseeded_instance():
+    return Random()
+
+
+def shuffled(items):
+    copy = list(items)
+    random.shuffle(copy)
+    return copy

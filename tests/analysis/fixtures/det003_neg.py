@@ -1,0 +1,22 @@
+"""DET003 negative fixture: wall-clock confined to perf fields.
+
+Timings may flow into SubjectPerf (warn-only, excluded from the
+determinism comparison) without findings.
+"""
+
+import time
+
+from repro.artifacts.suite import SubjectPerf
+
+
+def record_perf(perf, run):
+    started = time.perf_counter()
+    run()
+    perf.synthesis_seconds = time.perf_counter() - started
+    return perf
+
+
+def build_perf(run):
+    started = time.monotonic()
+    run()
+    return SubjectPerf(metrics_seconds=time.monotonic() - started)

@@ -1,0 +1,22 @@
+"""DET003 positive fixture: wall-clock values reaching deterministic
+artifact fields (the SubjectMetrics side of the suite contract)."""
+
+import time
+
+from repro.artifacts.suite import SubjectMetrics
+
+
+def record_metrics(metrics, run):
+    started = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - started
+    # Storing a timing into a CI-compared field: every rerun differs.
+    metrics.oracle_queries = int(elapsed * 1000)
+    return elapsed
+
+
+def build_metrics(run):
+    started = time.monotonic()
+    run()
+    cost = time.monotonic() - started
+    return SubjectMetrics(precision=cost)

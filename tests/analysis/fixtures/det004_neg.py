@@ -1,0 +1,20 @@
+"""DET004 negative fixture: set iteration done safely. Zero findings."""
+
+
+def render(names):
+    return ", ".join(sorted(set(names)))
+
+
+def total(values):
+    return sum(v * v for v in set(values))
+
+
+def widest(words):
+    return max(set(words), key=len)
+
+
+def ordered(edges):
+    out = []
+    for edge in sorted(set(edges)):
+        out.append(edge)
+    return out

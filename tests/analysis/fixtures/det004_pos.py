@@ -1,0 +1,20 @@
+"""DET004 positive fixture: set iteration feeding ordered sinks.
+
+Three findings: join(), a materializing for-loop, and list().
+"""
+
+
+def render(names):
+    unique = set(names)
+    return ", ".join(unique)
+
+
+def collect(edges):
+    out = []
+    for edge in set(edges):
+        out.append(edge)
+    return out
+
+
+def materialize(chars):
+    return list(set(chars))

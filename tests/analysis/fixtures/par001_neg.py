@@ -1,0 +1,20 @@
+"""PAR001 negative fixture: tasks keep state local. Zero findings.
+
+Reading a module-level table that nothing ever mutates is fine; the
+rule only cares about shared *mutable-and-mutated* state reachable
+from task entry points.
+"""
+
+TASK_ENTRY_POINTS = ("worker",)
+
+_WEIGHTS = {"a": 1, "b": 2}
+
+
+def worker(payload):
+    acc = []
+    acc.append(payload)
+    return score(acc)
+
+
+def score(items):
+    return sum(_WEIGHTS.get(item, 0) for item in items)

@@ -1,0 +1,20 @@
+"""PAR001 positive fixture: executor tasks touching shared module state.
+
+Self-contained: registers its own TASK_ENTRY_POINTS so the rule's
+call-graph walk starts here. The helper is reached transitively.
+"""
+
+TASK_ENTRY_POINTS = ("worker",)
+
+_RESULTS = []
+_CACHE = {}
+
+
+def worker(payload):
+    _RESULTS.append(payload)
+    remember(payload)
+    return _CACHE
+
+
+def remember(payload):
+    _CACHE[payload] = True

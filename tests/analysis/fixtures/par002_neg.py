@@ -1,0 +1,23 @@
+"""PAR002 negative fixture: the lock is excluded from pickling via
+__getstate__/__setstate__, so crossing a process boundary is safe."""
+
+import threading
+
+
+class GuardedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -1,0 +1,15 @@
+"""PAR002 positive fixture: process-local resources held by a class
+with no __getstate__. Two findings (the lock and the pool)."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+class PoolHolder:
+    def __init__(self, workers):
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+
+    def submit(self, fn):
+        with self._lock:
+            return self._pool.submit(fn)

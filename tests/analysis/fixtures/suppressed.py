@@ -1,0 +1,14 @@
+# detlint: disable-file=DET004
+"""Suppression fixture: one line-level and one file-wide suppression.
+
+Analyzed with DET002+DET004 selected this file yields zero *new*
+findings and two *suppressed* ones.
+"""
+
+import random
+
+RNG = random.Random()  # detlint: disable=DET002
+
+
+def render(names):
+    return ", ".join(set(names))

@@ -1,0 +1,171 @@
+"""CLI-level tests for ``repro lint``: the exit-status contract, JSON
+reports, the write-baseline workflow, the committed-baseline self-lint
+(the CI gate run in-process), and the fig7 hash-seeding regression."""
+
+import json
+import pathlib
+
+from repro.analysis.baseline import load_baseline
+from repro.cli import main
+
+HERE = pathlib.Path(__file__).resolve()
+FIXTURES = HERE.parent / "fixtures"
+REPO_ROOT = HERE.parents[2]
+
+#: The PR-5 figure-7 bug, reduced: seeding an RNG from the builtin
+#: (process-salted) hash() makes every fuzzing run unrepeatable.
+FIG7_BUG = (
+    "import random\n"
+    "\n"
+    "\n"
+    "def rng_for(fuzzer, seed):\n"
+    '    return random.Random(hash(("fig7", fuzzer, seed)))\n'
+)
+
+
+# ----------------------------------------------------------------------
+# Exit-status contract
+# ----------------------------------------------------------------------
+
+
+def test_check_fails_on_every_positive_fixture(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)  # no default baseline in scope
+    for stem in (
+        "det001", "det002", "det003", "det004", "par001", "par002"
+    ):
+        fixture = FIXTURES / (stem + "_pos.py")
+        assert main(["lint", str(fixture), "--check"]) == 1, stem
+        assert main(["lint", str(fixture)]) == 0, stem  # informational
+
+
+def test_check_passes_on_negative_fixtures(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    for stem in (
+        "det001", "det002", "det003", "det004", "par001", "par002"
+    ):
+        fixture = FIXTURES / (stem + "_neg.py")
+        assert main(["lint", str(fixture), "--check"]) == 0, stem
+
+
+def test_usage_errors_exit_2(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "no/such/path", "--check"]) == 2
+    target = FIXTURES / "det001_neg.py"
+    assert main(
+        ["lint", str(target), "--baseline", "absent.json"]
+    ) == 2
+
+
+# ----------------------------------------------------------------------
+# JSON report and baseline workflow
+# ----------------------------------------------------------------------
+
+
+def test_json_report_shape(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    report_path = tmp_path / "report.json"
+    rc = main([
+        "lint", str(FIXTURES / "det002_pos.py"),
+        "--json", str(report_path),
+    ])
+    assert rc == 0
+    report = json.loads(report_path.read_text())
+    assert report["kind"] == "detlint-report"
+    assert report["version"] == 1
+    assert report["files_analyzed"] == 1
+    assert report["counts"] == {"new": 3}
+    assert {r["id"] for r in report["rules"]} >= {"DET002"}
+    for entry in report["findings"]:
+        assert entry["rule"] == "DET002"
+        assert entry["fingerprint"]
+
+
+def test_write_baseline_then_check_passes(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    import shutil
+
+    target = tmp_path / "legacy.py"
+    shutil.copy(FIXTURES / "det004_pos.py", target)
+    baseline = tmp_path / "bl.json"
+    assert main([
+        "lint", str(target), "--write-baseline",
+        "--baseline", str(baseline),
+    ]) == 0
+    assert len(load_baseline(baseline)) == 3
+    assert main([
+        "lint", str(target), "--check", "--baseline", str(baseline),
+    ]) == 0
+
+
+def test_default_baseline_is_picked_up(monkeypatch, tmp_path):
+    import shutil
+
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "legacy.py"
+    shutil.copy(FIXTURES / "det004_pos.py", target)
+    # --write-baseline with no --baseline writes the default name,
+    # which a later bare --check run must discover on its own.
+    assert main(["lint", str(target), "--write-baseline"]) == 0
+    assert (tmp_path / "detlint-baseline.json").exists()
+    assert main(["lint", str(target), "--check"]) == 0
+
+
+# ----------------------------------------------------------------------
+# Self-lint: the shipped tree is clean against the committed baseline
+# ----------------------------------------------------------------------
+
+
+def test_shipped_tree_is_lint_clean():
+    # Exactly what CI's lint-gate runs: src/ must produce no new
+    # findings given the committed (currently empty) baseline.
+    rc = main([
+        "lint", str(REPO_ROOT / "src"), "--check", "--quiet",
+        "--baseline", str(REPO_ROOT / "detlint-baseline.json"),
+    ])
+    assert rc == 0
+
+
+def test_committed_baseline_is_empty():
+    # Fixes beat baselining: the tree ships with zero known debt, so
+    # any future baselined finding is a deliberate, reviewed addition.
+    assert load_baseline(REPO_ROOT / "detlint-baseline.json") == set()
+
+
+# ----------------------------------------------------------------------
+# Regression: the fig7 process-salted hash() bug must be caught
+# ----------------------------------------------------------------------
+
+
+def test_fig7_hash_seed_bug_is_caught(monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    module = tmp_path / "fig7_seed.py"
+    module.write_text(FIG7_BUG)
+    report_path = tmp_path / "report.json"
+    rc = main([
+        "lint", str(module), "--check", "--json", str(report_path),
+    ])
+    assert rc == 1
+    report = json.loads(report_path.read_text())
+    det001 = [
+        f for f in report["findings"] if f["rule"] == "DET001"
+    ]
+    assert len(det001) == 1
+    assert det001[0]["line"] == 5
+    assert "hash" in det001[0]["line_text"]
+
+
+def test_fig7_fix_shape_is_clean(monkeypatch, tmp_path):
+    # The shipped replacement pattern (stable_seed over a blake2b
+    # digest) must not trip the rule the bug does.
+    monkeypatch.chdir(tmp_path)
+    module = tmp_path / "fig7_fixed.py"
+    module.write_text(
+        "import random\n"
+        "\n"
+        "from repro.evaluation.harness import stable_seed\n"
+        "\n"
+        "\n"
+        "def rng_for(fuzzer, seed):\n"
+        '    return random.Random(stable_seed("fig7", fuzzer, seed))\n'
+    )
+    assert main(["lint", str(module), "--check"]) == 0

@@ -1,0 +1,179 @@
+"""Engine-layer tests: suppression comments, baseline round-trip,
+fingerprint stability, and result bookkeeping."""
+
+import pathlib
+import shutil
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import (
+    STATUS_BASELINED,
+    STATUS_NEW,
+    STATUS_SUPPRESSED,
+    Finding,
+)
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+# ----------------------------------------------------------------------
+# Suppression comments
+# ----------------------------------------------------------------------
+
+
+def test_line_and_file_suppressions():
+    result = analyze_paths([FIXTURES / "suppressed.py"])
+    assert result.new_findings() == []
+    suppressed = [
+        f for f in result.findings if f.status == STATUS_SUPPRESSED
+    ]
+    assert sorted(f.rule for f in suppressed) == ["DET002", "DET004"]
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    # A disable for one rule must not hide another rule's finding on
+    # the same line.
+    source = (
+        "import random\n"
+        "RNG = random.Random()  # detlint: disable=DET004\n"
+    )
+    target = tmp_path / "wrong_rule.py"
+    target.write_text(source)
+    result = analyze_paths([target])
+    assert [f.rule for f in result.new_findings()] == ["DET002"]
+
+
+def test_bare_disable_suppresses_all_rules(tmp_path):
+    source = (
+        "import random\n"
+        "RNG = random.Random()  # detlint: disable\n"
+    )
+    target = tmp_path / "bare.py"
+    target.write_text(source)
+    result = analyze_paths([target])
+    assert result.new_findings() == []
+    assert [f.status for f in result.findings] == [STATUS_SUPPRESSED]
+
+
+def test_marker_inside_string_is_not_a_suppression(tmp_path):
+    # Suppressions are parsed from real comment tokens, not substring
+    # matches, so a marker inside a string literal changes nothing.
+    source = (
+        "import random\n"
+        'DOC = "# detlint: disable=DET002"\n'
+        "RNG = random.Random()\n"
+    )
+    target = tmp_path / "stringy.py"
+    target.write_text(source)
+    result = analyze_paths([target])
+    assert [f.rule for f in result.new_findings()] == ["DET002"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    fixture = FIXTURES / "det004_pos.py"
+    first = analyze_paths([fixture])
+    assert len(first.new_findings()) == 3
+
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(first.findings, baseline_path)
+    fingerprints = load_baseline(baseline_path)
+    assert len(fingerprints) == 3
+
+    second = analyze_paths(
+        [fixture], baseline_fingerprints=fingerprints
+    )
+    assert second.new_findings() == []
+    assert second.counts() == {STATUS_BASELINED: 3}
+
+
+def test_baseline_does_not_mask_fresh_findings(tmp_path):
+    fixture = tmp_path / "det004_pos.py"
+    shutil.copy(FIXTURES / "det004_pos.py", fixture)
+    result = analyze_paths([fixture])
+    baseline_path = tmp_path / "baseline.json"
+    save_baseline(result.findings, baseline_path)
+
+    # Introduce a new bug of a different rule; only it should gate.
+    with fixture.open("a") as handle:
+        handle.write(
+            "\n\nimport random\n\n"
+            "def fresh():\n"
+            "    return random.random()\n"
+        )
+    rerun = analyze_paths(
+        [fixture], baseline_fingerprints=load_baseline(baseline_path)
+    )
+    fresh = rerun.new_findings()
+    assert [f.rule for f in fresh] == ["DET002"]
+    assert rerun.counts()[STATUS_BASELINED] == 3
+
+
+def test_fingerprints_survive_line_drift(tmp_path):
+    # Fingerprints hash the line *text*, not the line number, so
+    # prepending unrelated code does not invalidate a baseline.
+    original = tmp_path / "drift.py"
+    shutil.copy(FIXTURES / "det004_pos.py", original)
+    before = {
+        f.fingerprint for f in analyze_paths([original]).findings
+    }
+    shifted = original.read_text().replace(
+        '"""', '"""\n\n# a comment pushing everything down\n', 1
+    )
+    original.write_text("# leading comment\n\n" + shifted)
+    after = {
+        f.fingerprint for f in analyze_paths([original]).findings
+    }
+    assert before == after
+
+
+def test_load_baseline_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    wrong_kind = tmp_path / "wrong.json"
+    wrong_kind.write_text('{"kind": "something-else", "version": 1}')
+    with pytest.raises(BaselineError):
+        load_baseline(wrong_kind)
+
+
+def test_load_baseline_missing_file(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "absent.json")
+
+
+# ----------------------------------------------------------------------
+# Result bookkeeping
+# ----------------------------------------------------------------------
+
+
+def test_findings_sorted_and_serializable():
+    result = analyze_paths([FIXTURES])
+    keys = [(f.path, f.line, f.col, f.rule) for f in result.findings]
+    assert keys == sorted(keys)
+    for finding in result.findings:
+        rebuilt = Finding.from_dict(finding.to_dict())
+        assert rebuilt == finding
+
+
+def test_statuses_partition_findings():
+    result = analyze_paths([FIXTURES])
+    statuses = {f.status for f in result.findings}
+    assert statuses <= {STATUS_NEW, STATUS_BASELINED, STATUS_SUPPRESSED}
+    assert result.files_analyzed == len(list(FIXTURES.glob("*.py")))
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        analyze_paths([FIXTURES / "does_not_exist"])

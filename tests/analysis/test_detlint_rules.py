@@ -1,0 +1,77 @@
+"""Per-rule fixture tests: every rule fires on its positive fixture
+and stays silent on its negative twin.
+
+The fixtures live in ``tests/analysis/fixtures`` and are deliberately
+excluded from ruff (ruff.toml) — they *are* the bugs.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze_paths, rule_ids
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+#: (fixture stem, rule id, findings expected on the positive fixture)
+CASES = [
+    ("det001", "DET001", 3),
+    ("det002", "DET002", 3),
+    ("det003", "DET003", 2),
+    ("det004", "DET004", 3),
+    ("par001", "PAR001", 5),
+    ("par002", "PAR002", 1),
+]
+
+
+def _analyze(name, rule):
+    result = analyze_paths([FIXTURES / name], select=[rule])
+    return result.new_findings()
+
+
+@pytest.mark.parametrize("stem,rule,expected", CASES)
+def test_positive_fixture_fires(stem, rule, expected):
+    findings = _analyze(stem + "_pos.py", rule)
+    assert len(findings) == expected
+    assert all(f.rule == rule for f in findings)
+
+
+@pytest.mark.parametrize("stem,rule,expected", CASES)
+def test_negative_fixture_is_clean(stem, rule, expected):
+    assert _analyze(stem + "_neg.py", rule) == []
+
+
+@pytest.mark.parametrize("stem,rule,expected", CASES)
+def test_findings_carry_location_and_excerpt(stem, rule, expected):
+    for finding in _analyze(stem + "_pos.py", rule):
+        assert finding.path == stem + "_pos.py"
+        assert finding.line >= 1
+        assert finding.line_text.strip()
+        human = finding.format_human()
+        assert human.startswith(
+            "{}:{}:".format(finding.path, finding.line)
+        )
+        assert rule in human
+
+
+def test_rule_registry_is_complete():
+    assert rule_ids() == [
+        "DET001", "DET002", "DET003", "DET004", "PAR001", "PAR002",
+    ]
+
+
+def test_select_filters_other_rules():
+    # The PAR001 fixture also trips nothing else; selecting a
+    # different rule over it must return no findings at all.
+    result = analyze_paths(
+        [FIXTURES / "par001_pos.py"], select=["DET002"]
+    )
+    assert result.findings == []
+
+
+def test_par001_reports_call_chain():
+    findings = _analyze("par001_pos.py", "PAR001")
+    chains = {f.detail for f in findings if f.detail}
+    # The helper is only reachable through the entry point; its
+    # finding must carry the full chain.
+    assert any("->" in chain for chain in chains)

@@ -29,7 +29,6 @@ from repro.artifacts.schema import (
     regex_from_dict,
     regex_to_dict,
 )
-from repro.core import gtree
 from repro.core.context import Context
 from repro.core.glade import GladeConfig, learn_grammar
 from repro.core.gtree import GAlt, GConcat, GConst, GRoot, GStar, stars_of

@@ -2,7 +2,7 @@
 
 from repro.core.chargen import generalize_characters
 from repro.core.context import Context
-from repro.core.gtree import GConcat, GConst, GRoot, GStar
+from repro.core.gtree import GConst, GRoot, GStar
 from repro.core.phase1 import synthesize_regex
 from repro.learning.oracle import CountingOracle
 

@@ -15,7 +15,7 @@ from repro.languages.engine import MembershipSession
 from repro.targets.xmllang import xml_oracle
 from repro.targets.xmllang import ALPHABET as XML_TARGET_ALPHABET
 
-from tests.core.helpers import XML_ALPHABET, xml_like_oracle
+from tests.core.helpers import xml_like_oracle
 
 #: A realistic seed for the paper's XML target (§8.2): attributes,
 #: nesting, a comment, and a CDATA section.

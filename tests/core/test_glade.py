@@ -1,6 +1,5 @@
 """End-to-end tests for the GLADE top level (Algorithm 1 + §6)."""
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the generalization tree node types."""
 
-import pytest
 
 from repro.core.context import Context
 from repro.core.gtree import (

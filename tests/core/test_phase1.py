@@ -1,6 +1,5 @@
 """Unit tests for phase one: candidates, ordering, checks, learning."""
 
-import pytest
 
 from repro.core.context import Context
 from repro.core.gtree import GHole, HoleKind, holes_of

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.context import Context
 from repro.core.glade import GladeConfig, learn_grammar
-from repro.core.gtree import GConcat, GConst, GRoot, GStar, stars_of
+from repro.core.gtree import GConcat, GConst, GRoot, GStar
 from repro.core.phase2 import merge_repetitions
 from repro.core.translate import translate_trees
 from repro.languages.earley import recognize

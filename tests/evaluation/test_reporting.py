@@ -1,6 +1,5 @@
 """Tests for the table/series formatters."""
 
-import pytest
 
 from repro.evaluation.reporting import format_series, format_table
 

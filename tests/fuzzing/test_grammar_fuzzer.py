@@ -75,7 +75,7 @@ class TestFromArtifact:
     """§7: fuzzing consumes the persisted learning artifact directly."""
 
     def make_artifact(self, tmp_path):
-        from repro.artifacts import MemoryCheckpointStore, save_artifact
+        from repro.artifacts import save_artifact
         from repro.core.glade import GladeConfig
         from repro.core.pipeline import LearningPipeline
 

@@ -1,6 +1,5 @@
 """Earley parser tests: classic grammars, ε-handling, parse trees."""
 
-import pytest
 
 from repro.languages.cfg import CharSet, Grammar, Nonterminal, Production
 from repro.languages.earley import parse, recognize
