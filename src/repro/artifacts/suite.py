@@ -109,6 +109,11 @@ class SubjectPerf:
     #: Oracle queries spent on speculation that in-order filters
     #: discarded (zero for serial learning; varies with job count).
     speculative_queries: int = 0
+    #: Matcher-tier telemetry from the learning run (fragments promoted
+    #: to dense tables, table states, dense vs fallback vs lazy-NFA
+    #: match counts; see ``Engine.tier_summary``). Execution detail:
+    #: recorded for trajectories, never compared by the gate.
+    matcher_tiers: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass

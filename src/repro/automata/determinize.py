@@ -2,21 +2,46 @@
 
 Used to build exact reference DFAs for regular target languages, which
 gives the unit tests a *perfect* equivalence oracle for L-Star (the
-paper's experiments use the sampling approximation instead, §8.2).
+paper's experiments use the sampling approximation instead, §8.2), and
+— through :func:`bounded_subset_construction` — the determinization
+step of the dense matching tier (:mod:`repro.automata.dense`), which
+needs the same walk over an opaque automaton with a state budget.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.automata.dfa import DFA
 from repro.languages import regex as rx
 from repro.languages.nfa_match import NFA, compile_regex
 
+StateSet = TypeVar("StateSet")
+
 
 def nfa_to_dfa(nfa: NFA, alphabet: Iterable[str]) -> DFA:
-    """Determinize ``nfa`` over ``alphabet`` via subset construction."""
+    """Determinize ``nfa`` over ``alphabet`` via subset construction.
+
+    Sparse-aware stepping: each popped subset only steps over the
+    characters that actually label an outgoing edge of one of its
+    states, so the construction is O(reachable edges) rather than
+    O(subsets × |alphabet|) — and the old per-subset ``sorted(alphabet)``
+    (recomputed on every loop iteration) is gone with it. Characters
+    with no outgoing edge produced no subset state and no transition
+    before either, so the resulting DFA — including its subset-state
+    numbering — is unchanged.
+    """
     alphabet = frozenset(alphabet)
     start_set = nfa.eps_closure(frozenset((nfa.start,)))
     index: Dict[FrozenSet[int], int] = {start_set: 0}
@@ -28,10 +53,14 @@ def nfa_to_dfa(nfa: NFA, alphabet: Iterable[str]) -> DFA:
         state = index[current]
         if nfa.accept in current:
             accepting.add(state)
+        outgoing = set()
+        for s in current:
+            for chars, _dst in nfa.char_edges.get(s, ()):
+                outgoing.update(chars)
         # Sorted, not raw set order: subset-state numbering (and with
         # it the transition table layout) must not depend on the salted
-        # iteration order of the alphabet set (detlint DET004).
-        for char in sorted(alphabet):
+        # iteration order of the character set (detlint DET004).
+        for char in sorted(outgoing & alphabet):
             moved = nfa.step(current, char)
             if not moved:
                 continue
@@ -40,6 +69,51 @@ def nfa_to_dfa(nfa: NFA, alphabet: Iterable[str]) -> DFA:
                 queue.append(moved)
             transitions[(state, char)] = index[moved]
     return DFA(alphabet, set(index.values()), 0, accepting, transitions)
+
+
+def bounded_subset_construction(
+    start: StateSet,
+    step: Callable[[StateSet, str], StateSet],
+    is_accepting: Callable[[StateSet], bool],
+    symbols: Sequence[str],
+    max_states: Optional[int] = None,
+) -> Optional[Tuple[int, Dict[Tuple[int, int], int], List[bool]]]:
+    """Generic subset construction over opaque ε-closed state sets.
+
+    ``start`` is the ε-closed start set (any hashable); ``step(current,
+    symbol)`` returns the ε-closed successor set (falsy means dead);
+    ``symbols`` is the ordered symbol sequence (the dense tier passes
+    one representative character per equivalence class). Subset states
+    are numbered in discovery order — BFS over symbols in the given
+    order — so the result is deterministic given the inputs.
+
+    Returns ``(n_states, transitions, accepting)`` with ``transitions``
+    keyed by ``(state, symbol_index)`` (missing entries are dead), or
+    None as soon as more than ``max_states`` subset states would be
+    created — the caller's budget signal for "this region is too big to
+    lower; keep the lazy tier".
+    """
+    index: Dict[StateSet, int] = {start: 0}
+    transitions: Dict[Tuple[int, int], int] = {}
+    accepting: List[bool] = [bool(is_accepting(start))]
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        state = index[current]
+        for sym_index, symbol in enumerate(symbols):
+            moved = step(current, symbol)
+            if not moved:
+                continue
+            target = index.get(moved)
+            if target is None:
+                if max_states is not None and len(index) >= max_states:
+                    return None
+                target = len(index)
+                index[moved] = target
+                accepting.append(bool(is_accepting(moved)))
+                queue.append(moved)
+            transitions[(state, sym_index)] = target
+    return len(index), transitions, accepting
 
 
 def regex_to_dfa(

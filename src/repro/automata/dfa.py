@@ -9,7 +9,7 @@ partial automata over large alphabets (printable ASCII) stay small.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.languages.cfg import Grammar, Nonterminal, Production
 
@@ -159,45 +159,17 @@ class DFA:
         )
 
     def minimize(self) -> "DFA":
-        """Return the minimal equivalent DFA (Moore partition refinement)."""
-        trimmed = self.trim()
-        if trimmed.start is None:
-            return trimmed
-        total = trimmed.completed()
-        alphabet = sorted(total.alphabet)
-        # Initial partition: accepting vs non-accepting.
-        block_of: Dict[int, int] = {
-            s: (0 if s in total.accepting else 1) for s in total.states
-        }
-        while True:
-            signatures: Dict[Tuple, List[int]] = {}
-            for state in total.states:
-                signature = (
-                    block_of[state],
-                    tuple(
-                        block_of[total.transitions[(state, c)]]
-                        for c in alphabet
-                    ),
-                )
-                signatures.setdefault(signature, []).append(state)
-            new_block_of = {}
-            for index, states in enumerate(signatures.values()):
-                for state in states:
-                    new_block_of[state] = index
-            if len(signatures) == len(set(block_of.values())):
-                break
-            block_of = new_block_of
-        # Build the quotient automaton.
-        states = set(block_of.values())
-        start = block_of[total.start]
-        accepting = {block_of[s] for s in total.accepting}
-        transitions = {}
-        for state in total.states:
-            for char in alphabet:
-                transitions[(block_of[state], char)] = block_of[
-                    total.transitions[(state, char)]
-                ]
-        return DFA(total.alphabet, states, start, accepting, transitions).trim()
+        """Return the minimal equivalent DFA (Hopcroft refinement).
+
+        Delegates to :func:`repro.automata.minimize.minimize_dfa` — the
+        same verified path the dense lowering
+        (:mod:`repro.automata.dense`) minimizes its transition tables
+        through, so the baselines and the matching tier share one
+        minimization implementation.
+        """
+        from repro.automata.minimize import minimize_dfa
+
+        return minimize_dfa(self)
 
     def product(self, other: "DFA", accept_op) -> "DFA":
         """Lazy product construction over reachable state pairs.

@@ -58,6 +58,15 @@ class GladeConfig:
     by ``tests/languages/test_engine.py``); the flag exists for the
     equivalence tests and the ``bench_engine`` microbenchmark.
 
+    ``use_dense`` selects the dense matching tier on top of the engine:
+    hot language versions are lowered to minimized byte-transition
+    tables (:mod:`repro.languages.engine` / :mod:`repro.automata.dense`)
+    and batched membership probes walk the flat tables. Every tier is
+    verdict-equivalent and membership probes are oracle-free, so this
+    is an *execution* knob like ``jobs``/``backend``: learned grammars
+    and query counts are byte-identical with it on or off (verified by
+    ``tests/languages/test_tiered.py``).
+
     Independent oracle checks (a candidate's residuals, one position's
     character probes, a merge pair's checks) are always dispatched as
     one batch; oracles that support concurrency (e.g.
@@ -77,6 +86,10 @@ class GladeConfig:
     mixed_merge_checks: bool = True
     #: Incremental membership engine (fragment cache + match memo).
     use_engine: bool = True
+    #: Dense matching tier: promote hot language versions to minimized
+    #: byte-transition tables (requires ``use_engine``; ignored without
+    #: it). Execution-only — never changes grammars or query counts.
+    use_dense: bool = True
     #: Worker count for seed-sharded phase 1 and pair-sharded phase 2
     #: (see :mod:`repro.exec`). Learned grammars and counted query
     #: totals are identical at any worker count; jobs > 1 trades

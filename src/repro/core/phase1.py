@@ -136,7 +136,20 @@ def _passes(checks: List[str], oracle: Oracle, in_current) -> bool:
     run for checks after the first oracle rejection).
     """
     if supports_concurrency(oracle):
-        pending = [check for check in checks if not in_current(check)]
+        # The discard-rule probes are independent here too, so they go
+        # through the matcher's batch path when it has one (the dense
+        # tier answers a batch in one table walk); a plain predicate
+        # gets the per-string loop. Verdicts are identical either way.
+        batch = getattr(in_current, "match_many", None)
+        if batch is not None:
+            verdicts = batch(checks)
+            pending = [
+                check
+                for check, verdict in zip(checks, verdicts)
+                if not verdict
+            ]
+        else:
+            pending = [check for check in checks if not in_current(check)]
         return query_all(oracle, pending)
     for check in checks:
         if in_current(check):

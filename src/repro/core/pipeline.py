@@ -273,7 +273,15 @@ class LearningPipeline:
         }
         # Parent-side session: tracks kept (USED) languages for the
         # §6.1 covered-seed test. Oracle-free.
-        session = MembershipSession(use_engine=config.use_engine)
+        session = MembershipSession(
+            use_engine=config.use_engine, use_dense=config.use_dense
+        )
+        tier_totals: Dict[str, int] = {}
+
+        def add_tiers(summary: Dict[str, int]) -> None:
+            for name, value in summary.items():
+                tier_totals[name] = tier_totals.get(name, 0) + value
+
         with executor:
             if executor.name == "serial":
                 # In-order: covered seeds are skipped *before* any
@@ -301,6 +309,7 @@ class LearningPipeline:
                 ]
                 for outcome in run_pending(executor, payloads):
                     state.absorb(artifact, outcome)
+                    add_tiers(outcome.tiers)
                     artifact.seeds[outcome.index].state = SEED_LEARNED
                     checkpoint()
                 for _ in self._settle_seeds(
@@ -310,6 +319,12 @@ class LearningPipeline:
                     raise AssertionError(
                         "validated seed left after parallel learning"
                     )
+        # Matcher-tier telemetry: the parent session's counters (§6.1
+        # coverage probes; on the serial path also every task's, since
+        # tasks share this session) plus worker-side deltas. Execution
+        # metadata only — never compared by the eval gate.
+        add_tiers(session.tier_summary())
+        artifact.execution["matcher_tiers"] = tier_totals
 
     def _settle_seeds(
         self,
@@ -331,7 +346,18 @@ class LearningPipeline:
         or yielded as task payloads for the serial executor. Yielding
         is lazy, so by the time seed *i*'s payload is requested, every
         earlier seed has been settled and remembered.
+
+        Coverage runs through a :class:`~repro.languages.engine
+        .CoverageTracker` rather than per-string ``covers`` calls: the
+        tracker batches still-uncovered seed texts against each newly
+        learned language (feeding the engine's dense tier) and its
+        verdicts are identical to ``session.covers`` at every decision
+        point, so seed states — and with them grammars and query
+        accounting — are unchanged.
         """
+        tracker = session.track_coverage(
+            [record.text for record in artifact.seeds]
+        )
         for index, record in enumerate(artifact.seeds):
             if record.state == SEED_SKIPPED:
                 continue
@@ -339,7 +365,7 @@ class LearningPipeline:
                 session.remember(state.result_of(artifact, index))
                 continue
             if record.state == SEED_LEARNED:
-                if config.skip_covered_seeds and session.covers(record.text):
+                if config.skip_covered_seeds and tracker.covered(index):
                     state.discard(artifact, index)
                     record.state = SEED_SKIPPED
                 else:
@@ -351,7 +377,7 @@ class LearningPipeline:
             if not emit_pending:
                 yield seed_payload(index, record.text, config, oracle)
                 continue
-            if config.skip_covered_seeds and session.covers(record.text):
+            if config.skip_covered_seeds and tracker.covered(index):
                 record.state = SEED_SKIPPED
                 checkpoint()
                 continue

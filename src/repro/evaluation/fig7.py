@@ -30,6 +30,7 @@ from repro.languages.sampler import GrammarSampler
 from repro.programs import (
     SUBJECT_NAMES,
     Subject,
+    accepts_many,
     coverable_lines,
     get_subject,
     measure_coverage,
@@ -123,7 +124,9 @@ class SubjectHarness:
             self.coverable, self.seed_lines, covered | self.seed_lines
         )
         valid = sum(
-            1 for s in samples if self.subject.accepts(s)
+            1
+            for verdict in accepts_many(self.subject.accepts, samples)
+            if verdict
         ) / max(1, len(samples))
         return report, valid
 

@@ -57,6 +57,7 @@ from repro.fuzzing.grammar_fuzzer import GrammarFuzzer
 from repro.programs import (
     SUBJECT_NAMES,
     Subject,
+    accepts_many,
     coverable_lines,
     get_subject,
     measure_coverage,
@@ -284,20 +285,25 @@ def search_valid_sample(
     Returns ``(sample, valid, n_tried)`` — the first valid candidate of
     at least ``min_length`` characters, else the longest valid one seen.
     Deterministic given the grammar and ``seed``.
+
+    Candidates are generated up front and validity-tested as one batch
+    (:func:`~repro.programs.base.accepts_many`, the dense-tier seam);
+    ``n_tried`` is then recovered as the winning candidate's position,
+    so the returned triple is identical to the historical
+    generate-test-one-at-a-time loop.
     """
     fuzzer = GrammarFuzzer(grammar, seeds, random.Random(seed))
+    candidates = [fuzzer.generate_one() for _ in range(n_candidates)]
+    verdicts = accepts_many(accepts, candidates)
     best = ""
-    tried = 0
-    for _ in range(n_candidates):
-        tried += 1
-        candidate = fuzzer.generate_one()
-        if not accepts(candidate):
+    for index, (candidate, valid) in enumerate(zip(candidates, verdicts)):
+        if not valid:
             continue
         if len(candidate) >= min_length:
-            return candidate, True, tried
+            return candidate, True, index + 1
         if len(candidate) > len(best):
             best = candidate
-    return best, bool(best) and accepts(best), tried
+    return best, bool(best), n_candidates
 
 
 def derive_subject_metrics(
@@ -340,7 +346,7 @@ def derive_subject_metrics(
     )
     samples = fuzzer.generate(params.fuzz_samples)
     valid_fraction = sum(
-        1 for s in samples if subject.accepts(s)
+        1 for verdict in accepts_many(subject.accepts, samples) if verdict
     ) / max(1, len(samples))
     coverable = set()
     for module in subject.modules:
@@ -380,6 +386,9 @@ def derive_subject_metrics(
         synthesis_seconds=artifact.duration_seconds(),
         metrics_seconds=time.perf_counter() - started,
         speculative_queries=artifact.speculative_queries,
+        matcher_tiers=dict(
+            (artifact.execution or {}).get("matcher_tiers") or {}
+        ),
     )
     return metrics, perf
 

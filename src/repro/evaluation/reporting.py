@@ -98,6 +98,20 @@ def summarize_artifact(artifact) -> str:
                 artifact.speculative_queries
             )
         lines.append(line)
+        tiers = artifact.execution.get("matcher_tiers") or {}
+        if tiers:
+            lines.append(
+                "matcher tiers: {} fragment(s) promoted to dense "
+                "({} table states, {} failed), matches: {} dense / "
+                "{} fallback / {} lazy-NFA".format(
+                    tiers.get("fragments_promoted", 0),
+                    tiers.get("dense_states", 0),
+                    tiers.get("promotion_failures", 0),
+                    tiers.get("dense_matches", 0),
+                    tiers.get("fallback_matches", 0),
+                    tiers.get("nfa_matches", 0),
+                )
+            )
     if artifact.phase2_progress:
         from repro.core.phase2 import (
             PAIR_MERGED,

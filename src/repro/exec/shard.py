@@ -50,13 +50,20 @@ TASK_ENTRY_POINTS = ("run_seed_task",)
 
 @dataclass
 class SeedResult:
-    """One seed's merged phase-1 outcome, decoded on the parent side."""
+    """One seed's merged phase-1 outcome, decoded on the parent side.
+
+    ``tiers`` carries the task session's matcher-tier counters
+    (:meth:`~repro.languages.engine.Engine.tier_summary`) — empty when
+    the task shared the parent's session (the parent's own counters
+    already include the task's work) or predates the field.
+    """
 
     index: int
     result: Phase1Result
     queries: int
     digests: FrozenSet[int]
     seconds: float
+    tiers: Dict[str, int]
 
 
 def seed_payload(
@@ -113,9 +120,12 @@ def run_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     else:
         cached = CachingOracle(payload["oracle"])
         counting = CountingOracle(cached)
-    session = payload.get("session")
+    shared_session = payload.get("session")
+    session = shared_session
     if session is None:
-        session = MembershipSession(use_engine=config.use_engine)
+        session = MembershipSession(
+            use_engine=config.use_engine, use_dense=config.use_dense
+        )
     started = time.perf_counter()
     result = synthesize_regex(
         payload["text"],
@@ -133,6 +143,9 @@ def run_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "queries": counting.queries,
         "digests": tuple(cached.seen_digests) if cached is not None else (),
         "seconds": time.perf_counter() - started,
+        # Fresh sessions report their own tier counters; shared ones
+        # report nothing (the parent session's counters cover them).
+        "tiers": session.tier_summary() if shared_session is None else {},
     }
 
 
@@ -146,6 +159,7 @@ def decode_task(raw: Dict[str, Any]) -> SeedResult:
         queries=raw["queries"],
         digests=frozenset(raw["digests"]),
         seconds=raw["seconds"],
+        tiers=dict(raw.get("tiers", ())),
     )
 
 

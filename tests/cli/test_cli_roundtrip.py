@@ -204,7 +204,8 @@ def test_parallel_learn_kill_resume_matches_serial(tmp_path, oracle_path):
     completed = run_cli(learn_args(oracle_path, ref_out), env)
     assert completed.returncode == 0, completed.stderr
     ref = json.loads(ref_out.read_text())
-    assert ref["execution"] == {"backend": "serial", "jobs": 1}
+    assert ref["execution"]["backend"] == "serial"
+    assert ref["execution"]["jobs"] == 1
 
     # Interrupted parallel run (thread backend keeps it light on CI).
     env = cli_env(tmp_path, "par.log")
@@ -261,8 +262,11 @@ def test_parallel_learn_kill_resume_matches_serial(tmp_path, oracle_path):
     assert [s["queries"] for s in final["seeds"]] == [
         s["queries"] for s in ref["seeds"]
     ]
-    # The artifact records how phase 1 actually executed.
-    assert final["execution"] == {"backend": "thread", "jobs": 4}
+    # The artifact records how phase 1 actually executed (plus
+    # matcher-tier telemetry, which may differ across backends).
+    assert final["execution"]["backend"] == "thread"
+    assert final["execution"]["jobs"] == 4
+    assert "matcher_tiers" in final["execution"]
 
     # Samples drawn from both artifacts are identical.
     a = run_cli(["sample", str(ref_out), "-n", "6", "--rng-seed", "3"], env)

@@ -81,7 +81,8 @@ def test_backends_match_serial(xml, seeds, serial_reference, n_seeds,
                                backend, jobs):
     reference = serial_reference[n_seeds]
     actual = learn(xml, seeds[:n_seeds], jobs, backend)
-    assert actual.execution == {"backend": backend, "jobs": jobs}
+    assert actual.execution["backend"] == backend
+    assert actual.execution["jobs"] == jobs
     assert_equivalent(actual, reference)
 
 
