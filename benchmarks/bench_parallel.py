@@ -93,6 +93,67 @@ def run_parallel_comparison(latency: float = DEFAULT_LATENCY,
     return rows
 
 
+def run_trace_comparison(latency: float = DEFAULT_LATENCY):
+    """Tracer-off vs tracer-on at jobs=1: drift check plus overhead.
+
+    The observability acceptance criterion: tracing is observation
+    only, so the learned grammar and the counted query totals must be
+    byte-identical with the tracer on; the wall-clock delta is the
+    (reported, ungated) tracing overhead.
+    """
+    target = get_target("xml")
+    seeds = sorted(target.sample_seeds(N_SEEDS, seed=0), key=len)
+    rows = []
+    for trace in (False, True):
+        config = GladeConfig(
+            alphabet=target.alphabet,
+            skip_covered_seeds=False,
+            trace=trace,
+        )
+        pipeline = LearningPipeline(LatencyOracle(latency), config=config)
+        started = time.perf_counter()
+        artifact = pipeline.run(seeds)
+        rows.append(
+            {
+                "trace": trace,
+                "seconds": time.perf_counter() - started,
+                "oracle_queries": artifact.oracle_queries,
+                "unique_queries": artifact.unique_queries,
+                "spans": len(
+                    (artifact.telemetry or {}).get("spans") or ()
+                ),
+                "grammar": str(artifact.grammar),
+            }
+        )
+    return rows
+
+
+def trace_drift_failures(rows):
+    """Human-readable tracer-on-vs-off drift descriptions (ideally [])."""
+    off, on = rows
+    failures = []
+    if on["grammar"] != off["grammar"]:
+        failures.append("grammar differs with tracing on")
+    for key in ("oracle_queries", "unique_queries"):
+        if on[key] != off[key]:
+            failures.append("{} differ with tracing on".format(key))
+    return failures
+
+
+def format_trace_comparison(rows):
+    off, on = rows
+    return (
+        "tracing overhead: {:.3f}s off -> {:.3f}s on "
+        "({} spans recorded), grammars {}".format(
+            off["seconds"],
+            on["seconds"],
+            on["spans"],
+            "identical" if not trace_drift_failures(rows)
+            else "DIFFERENT",
+        )
+    )
+
+
 def format_comparison(rows):
     lines = [
         "{:<6} {:<8} {:>10} {:>10} {:>9} {:>8}".format(
@@ -137,6 +198,14 @@ def test_parallel_speedup_and_determinism(once):
     )
 
 
+def test_tracing_is_byte_identical(once):
+    rows = once(run_trace_comparison)
+    print()
+    print(format_trace_comparison(rows))
+    assert trace_drift_failures(rows) == []
+    assert rows[1]["spans"] > 0
+
+
 def main(argv=None):
     """CLI: print the comparison; ``--json PATH`` also writes the rows.
 
@@ -172,6 +241,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     rows = run_parallel_comparison(args.latency, args.backend)
     print(format_comparison(rows))
+    trace_rows = run_trace_comparison(args.latency)
+    print(format_trace_comparison(trace_rows))
     base, top = rows[0], rows[-1]
     speedup = base["phase1_seconds"] / top["phase1_seconds"]
     failures = []
@@ -184,6 +255,8 @@ def main(argv=None):
             failures.append(
                 "oracle_queries differ at {} jobs".format(row["jobs"])
             )
+    # Tracer on vs off is gated the same way: observation only.
+    failures.extend(trace_drift_failures(trace_rows))
     if args.min_speedup and speedup < args.min_speedup:
         failures.append(
             "phase-1 speedup {:.2f}x below the {:.2f}x floor".format(
@@ -205,6 +278,11 @@ def main(argv=None):
                 for row in rows
             ),
             "phase1_speedup": speedup,
+            "trace_rows": [
+                {k: v for k, v in row.items() if k != "grammar"}
+                for row in trace_rows
+            ],
+            "trace_byte_identical": not trace_drift_failures(trace_rows),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)

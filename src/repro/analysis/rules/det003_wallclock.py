@@ -20,6 +20,21 @@ locals), and flags taints reaching a deterministic sink:
 
 The field sets are read from the live dataclasses, so extending the
 schema automatically extends the rule.
+
+Two refinements for the observability layer (:mod:`repro.obs`):
+
+- ``repro.obs`` itself is exempt: it is the *sanctioned* wall-clock
+  consumer — every reading it takes lands in telemetry sections that
+  are outside each deterministic comparison surface by construction
+  (``canonical_metrics_bytes`` never includes them). A line-by-line
+  suppression there would just be noise.
+- Telemetry *reads* count as taint sources: a registry snapshot, a
+  stage-clock ``timings()``, an engine ``tier_summary()`` or a
+  ``Stopwatch.seconds`` read carries wall-clock-derived data even
+  though no ``time.*`` call is in sight, so routing one into a
+  ``SubjectMetrics`` field still fires. The exemption is therefore
+  safe: trace data cannot silently flow back into compared fields
+  through the obs API.
 """
 
 from __future__ import annotations
@@ -48,6 +63,22 @@ WALL_CLOCK_SOURCES = {
     "datetime.now",
     "datetime.utcnow",
 }
+
+#: Method/helper names whose return values carry telemetry — i.e.
+#: wall-clock-derived — data (the :mod:`repro.obs` read API plus the
+#: engine's tier counters). Matched by trailing name so both
+#: ``registry.snapshot()`` and an aliased import resolve.
+TELEMETRY_SOURCE_CALLS = {
+    "snapshot",
+    "timings",
+    "tier_summary",
+    "histogram_total",
+    "build_telemetry",
+}
+
+#: Attribute reads that are live timing values (``Stopwatch.seconds``
+#: and the registry timer built on it).
+TELEMETRY_SOURCE_ATTRS = {"seconds"}
 
 
 def _contract_fields() -> tuple:
@@ -82,13 +113,23 @@ def _is_source_call(module: ModuleSource, node: ast.AST) -> bool:
     if not isinstance(node, ast.Call):
         return False
     resolved = module.resolve_dotted(node.func)
-    return resolved in WALL_CLOCK_SOURCES
+    if resolved in WALL_CLOCK_SOURCES:
+        return True
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in TELEMETRY_SOURCE_CALLS
+    if isinstance(func, ast.Name):
+        return func.id in TELEMETRY_SOURCE_CALLS
+    return False
 
 
 def _tainted(module: ModuleSource, node: ast.AST, names: Set[str]) -> bool:
     for sub in ast.walk(node):
         if _is_source_call(module, sub):
             return True
+        if isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+            if sub.attr in TELEMETRY_SOURCE_ATTRS:
+                return True
         if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
             if sub.id in names:
                 return True
@@ -127,6 +168,15 @@ class WallClockRule(Rule):
     def check_module(
         self, module: ModuleSource, project: ProjectIndex
     ) -> Iterable[Finding]:
+        # The observability layer is the sanctioned wall-clock consumer:
+        # everything it records lands in telemetry sections that are
+        # outside every deterministic comparison surface by design
+        # (canonical_metrics_bytes excludes them; see repro.obs). Reads
+        # *out* of telemetry are tainted sources everywhere else, so
+        # this exemption cannot launder a timing into SubjectMetrics.
+        modname = module.modname or ""
+        if modname == "repro.obs" or modname.startswith("repro.obs."):
+            return
         funcs = [
             node for node in ast.walk(module.tree)
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))

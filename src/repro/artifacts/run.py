@@ -105,6 +105,11 @@ class RunArtifact:
     phase2_progress: Dict[str, Any] = field(default_factory=dict)
     #: Per-stage wall-clock seconds, accumulated across resumes.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Versioned observability section (schema v4, ``--trace`` runs
+    #: only): spans and the metrics-registry snapshot, see
+    #: :mod:`repro.obs.export`. Wall-clock telemetry by nature — never
+    #: part of any deterministic comparison surface.
+    telemetry: Optional[Dict[str, Any]] = None
     schema_version: int = SCHEMA_VERSION
 
     # -- derived views ----------------------------------------------------
@@ -190,6 +195,7 @@ class RunArtifact:
             "execution": dict(self.execution),
             "phase2_progress": _copy_progress(self.phase2_progress),
             "timings": dict(self.timings),
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -214,6 +220,11 @@ class RunArtifact:
             # or never started it (v2 builds checkpointed phase 2 only
             # on stage completion), so an empty progress record is
             # exactly right: resume re-runs the stage from its start.
+            data = dict(data, schema_version=3)
+            version = 3
+        if version == 3:
+            # v3 → v4 adds only the optional ``telemetry`` section;
+            # absent means the run was not traced.
             data = dict(data, schema_version=SCHEMA_VERSION)
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
@@ -256,6 +267,7 @@ class RunArtifact:
                     data.get("phase2_progress") or {}
                 ),
                 timings=dict(data["timings"]),
+                telemetry=data.get("telemetry"),
                 schema_version=version,
             )
         except (KeyError, TypeError) as exc:

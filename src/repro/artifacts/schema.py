@@ -62,7 +62,11 @@ from repro.languages.cfg import (
 #: decision log (``merged`` / ``rejected`` / ``skipped`` per pair, in
 #: plan order), which lets an interrupted run resume phase 2 from the
 #: last committed pair instead of restarting the stage.
-SCHEMA_VERSION = 3
+#: v4: optional run-level ``telemetry`` — the versioned observability
+#: section (:mod:`repro.obs.export`: spans + metrics snapshot) written
+#: by ``--trace`` runs. Absent/None means the run was not traced;
+#: nothing in it participates in deterministic comparisons.
+SCHEMA_VERSION = 4
 
 
 class ArtifactError(ValueError):

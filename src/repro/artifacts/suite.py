@@ -19,6 +19,12 @@ The file is split by determinism contract:
   vary run to run; the comparator only warns about these.
 - ``execution`` / ``environment`` — provenance: jobs, backend, cache
   hits, Python version, platform. Never compared.
+- ``telemetry`` — optional structured tracing section
+  (:mod:`repro.obs`): suite-level spans and the merged metrics
+  registry, present only for ``--trace`` runs. Observation-only and
+  never compared; an absent section simply means an untraced run, so
+  adding it needs no schema bump (the canonical metrics bytes are
+  unchanged either way).
 
 Versioning follows the run-artifact policy: ``SUITE_SCHEMA_VERSION`` is
 bumped on incompatible changes and the loader refuses mismatches with a
@@ -126,6 +132,11 @@ class SuiteResult:
     perf: Dict[str, SubjectPerf] = field(default_factory=dict)
     execution: Dict[str, Any] = field(default_factory=dict)
     environment: Dict[str, Any] = field(default_factory=dict)
+    #: Optional tracing section (``repro eval --trace``): suite spans
+    #: plus the merged metrics snapshot, in the :mod:`repro.obs.export`
+    #: telemetry encoding. ``None`` means the run was untraced. Outside
+    #: every compared surface (see :func:`canonical_metrics_bytes`).
+    telemetry: Any = None
     schema_version: int = SUITE_SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
@@ -142,6 +153,7 @@ class SuiteResult:
             },
             "execution": dict(self.execution),
             "environment": dict(self.environment),
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -175,6 +187,7 @@ class SuiteResult:
                 },
                 execution=dict(data.get("execution") or {}),
                 environment=dict(data.get("environment") or {}),
+                telemetry=data.get("telemetry"),
                 schema_version=version,
             )
         except (KeyError, TypeError) as exc:

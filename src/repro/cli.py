@@ -133,6 +133,7 @@ def _cmd_learn(args, parser) -> int:
         enable_chargen=not args.no_chargen,
         jobs=args.jobs,
         backend=args.backend,
+        trace=args.trace,
     )
     store = None
     if args.out:
@@ -187,6 +188,8 @@ def _cmd_resume(args, parser) -> int:
         artifact.config.jobs = args.jobs
     if args.backend is not None:
         artifact.config.backend = args.backend
+    if args.trace:
+        artifact.config.trace = True
     if artifact.config.backend == "serial" and artifact.config.jobs > 1:
         parser.error(
             "--backend serial is single-worker; use --jobs 1 or pick "
@@ -216,10 +219,32 @@ def _cmd_sample(args, parser) -> int:
 
 
 def _cmd_show(args, parser) -> int:
-    from repro.evaluation.reporting import summarize_artifact
+    from repro.evaluation.reporting import format_stats, summarize_artifact
 
     artifact = load_artifact(args.artifact)
-    print(summarize_artifact(artifact))
+    if args.stats:
+        print(format_stats(artifact))
+    else:
+        print(summarize_artifact(artifact))
+    return 0
+
+
+def _cmd_trace(args, parser) -> int:
+    from repro.obs.export import write_chrome_trace
+
+    artifact = load_artifact(args.artifact)
+    if not artifact.telemetry:
+        raise ArtifactError(
+            "{} records no telemetry; re-run learning with --trace to "
+            "collect spans".format(args.artifact)
+        )
+    write_chrome_trace(artifact.telemetry, args.out)
+    print(
+        "# {} span(s) exported to {} (open in Perfetto or "
+        "chrome://tracing)".format(
+            len(artifact.telemetry.get("spans") or ()), args.out
+        )
+    )
     return 0
 
 
@@ -259,11 +284,17 @@ def _cmd_eval(args, parser) -> int:
         backend=args.backend,
         cache=cache,
         params=params,
+        trace=args.trace,
     )
     print(harness.format_suite(suite))
     if args.out:
         save_suite(suite, args.out)
         print("# suite metrics written to {}".format(args.out))
+    if args.trace and args.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(suite.telemetry or {}, args.trace_out)
+        print("# suite trace written to {}".format(args.trace_out))
     if args.baseline is None:
         return 0
     baseline = load_suite(args.baseline)
@@ -343,6 +374,13 @@ def main(argv=None) -> int:
         "one job, else process when the oracle is picklable, thread "
         "otherwise)",
     )
+    learn.add_argument(
+        "--trace", action="store_true",
+        help="record structured spans and counters into the artifact's "
+        "telemetry section (export with `repro trace`; observation "
+        "only — the learned grammar and counted queries are identical "
+        "with tracing on or off)",
+    )
     learn.set_defaults(handler=_cmd_learn)
 
     resume = sub.add_parser(
@@ -369,6 +407,11 @@ def main(argv=None) -> int:
         choices=["auto", "serial", "thread", "process"],
         help="override the artifact's execution backend",
     )
+    resume.add_argument(
+        "--trace", action="store_true",
+        help="turn on structured tracing for the resumed legs (prior "
+        "traced legs' telemetry is carried forward)",
+    )
     _add_sampling_options(resume, default_count=0)
     resume.set_defaults(handler=_cmd_resume)
 
@@ -390,7 +433,32 @@ def main(argv=None) -> int:
         "show", help="summarize a run artifact (stages, timings, grammar)"
     )
     show.add_argument("artifact", help="run artifact written by learn --out")
+    show.add_argument(
+        "--stats", action="store_true",
+        help="report the telemetry instead: stage timings with "
+        "percentages, per-shard span totals, counters and histograms",
+    )
     show.set_defaults(handler=_cmd_show)
+
+    trace = sub.add_parser(
+        "trace",
+        help="export a traced artifact's spans as a Chrome trace",
+        description=(
+            "Convert the telemetry section of a --trace run artifact "
+            "into Chrome trace_event JSON, viewable in Perfetto "
+            "(ui.perfetto.dev) or chrome://tracing. Shards (main run, "
+            "per-seed, per-pair) map to process rows; span nesting "
+            "maps to the flame layout."
+        ),
+    )
+    trace.add_argument(
+        "artifact", help="run artifact written by learn --trace --out"
+    )
+    trace.add_argument(
+        "--out", default="run.trace.json",
+        help="path for the Chrome trace JSON (default run.trace.json)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     evaluate = sub.add_parser(
         "eval",
@@ -458,6 +526,17 @@ def main(argv=None) -> int:
     evaluate.add_argument(
         "--rng-seed", type=int, default=0,
         help="base PRNG seed for every sampling path (default 0)",
+    )
+    evaluate.add_argument(
+        "--trace", action="store_true",
+        help="record a suite-level telemetry section (per-subject "
+        "learning spans merged into one timeline; observation only, "
+        "the canonical metrics bytes are unchanged)",
+    )
+    evaluate.add_argument(
+        "--trace-out",
+        help="with --trace: also write the suite timeline as Chrome "
+        "trace_event JSON to this path",
     )
     evaluate.set_defaults(handler=_cmd_eval)
 

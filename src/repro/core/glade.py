@@ -101,6 +101,12 @@ class GladeConfig:
     #: "auto" picks serial for one job, else process when the oracle is
     #: picklable and threads otherwise.
     backend: str = "auto"
+    #: Structured tracing (:mod:`repro.obs`): record spans and metrics
+    #: into the artifact's ``telemetry`` section. Observation-only —
+    #: grammars and counted query totals are byte-identical with it on
+    #: or off (gated in ``tests/obs/``); off by default, and the
+    #: disabled path is a shared no-op tracer.
+    trace: bool = False
 
 
 @dataclass

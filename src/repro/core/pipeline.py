@@ -54,7 +54,6 @@ since the membership cache does not persist across restarts.
 
 from __future__ import annotations
 
-import time
 from typing import Any, Dict, FrozenSet, Iterator, Optional, Sequence
 
 from repro.artifacts.run import (
@@ -73,14 +72,27 @@ from repro.core.phase2 import MergeCommitter, plan_merges
 from repro.core.translate import translate_trees
 from repro.exec.backends import make_executor
 from repro.exec.merge_shard import run_merge_wavefront
-from repro.exec.shard import SeedResult, run_pending, seed_payload
+from repro.exec.shard import (
+    SeedResult,
+    observe_engine,
+    run_pending,
+    seed_payload,
+)
 from repro.languages.engine import MembershipSession
 from repro.learning.oracle import (
     CachingOracle,
     CountingOracle,
     Oracle,
+    TracingOracle,
     supports_concurrency,
 )
+from repro.obs.export import build_telemetry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    StageClock,
+    counters_with_prefix,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class SeedRejected(ValueError):
@@ -165,90 +177,108 @@ class LearningPipeline:
 
     def _execute(self, artifact: RunArtifact) -> RunArtifact:
         config = artifact.config
+        # Observability: the metrics registry always runs (it is the
+        # single source for the artifact's timing/tier fields); the
+        # span tracer is live only under ``--trace`` — otherwise every
+        # call site hits the shared no-op tracer.
+        registry = MetricsRegistry()
+        tracer: Any = Tracer() if getattr(config, "trace", False) else (
+            NULL_TRACER
+        )
+        if tracer.enabled and artifact.telemetry:
+            # Resume of a traced run: re-seed the prior legs' telemetry
+            # so the merged section covers the whole run.
+            registry.merge(artifact.telemetry.get("metrics"))
+            tracer.graft("", artifact.telemetry.get("spans", ()))
         # Counter around cache: ``oracle_queries`` counts every query
         # including cache hits (the paper's metric); see core/glade.py.
-        cached = CachingOracle(self.oracle)
+        # The tracing layer sits *inside* the cache — it observes real
+        # oracle invocations and never changes counting semantics.
+        base_oracle: Any = self.oracle
+        if tracer.enabled:
+            base_oracle = TracingOracle(base_oracle, registry, tracer)
+        cached = CachingOracle(base_oracle)
         counting = CountingOracle(cached)
         base_queries = artifact.oracle_queries
         base_unique = artifact.unique_queries
+        clock = StageClock(artifact.timings)
 
         state = _RunAccounting()
+        # Building the telemetry section snapshots (copies, sorts)
+        # every span collected so far — O(spans). Worth it per
+        # checkpoint when a real store persists the result (a killed
+        # traced run keeps its trace); pure overhead when checkpoints
+        # are discarded, so the no-op store builds it once at the end.
+        persistent = not isinstance(self.store, NullCheckpointStore)
 
-        def checkpoint() -> None:
+        def checkpoint(final: bool = False) -> None:
+            artifact.timings = clock.timings()
             artifact.oracle_queries = (
                 base_queries + counting.queries + state.queries_delta
             )
             artifact.unique_queries = base_unique + state.unique(
                 cached.seen_digests
             )
+            if tracer.enabled and (persistent or final):
+                artifact.telemetry = build_telemetry(tracer, registry)
             self.store.save(artifact)
 
-        def add_timing(stage: str, started: float) -> None:
-            elapsed = time.perf_counter() - started
-            artifact.timings[stage] = artifact.timings.get(stage, 0.0) + elapsed
-
         if not artifact.stage_done("validate"):
-            started = time.perf_counter()
-            for record in artifact.seeds:
-                if record.state != SEED_PENDING:
-                    continue
-                if not counting(record.text):
-                    raise SeedRejected(record.text, record.source)
-                record.state = SEED_VALIDATED
-            artifact.stage = "validate"
-            add_timing("validate", started)
+            with clock.stage("validate"), tracer.span(
+                "stage:validate", cat="pipeline"
+            ):
+                for record in artifact.seeds:
+                    if record.state != SEED_PENDING:
+                        continue
+                    if not counting(record.text):
+                        raise SeedRejected(record.text, record.source)
+                    record.state = SEED_VALIDATED
+                artifact.stage = "validate"
             checkpoint()
 
         if not artifact.stage_done("phase1"):
-            stage_started = time.perf_counter()
-            timing_base = artifact.timings.get("phase1", 0.0)
-
-            def phase1_checkpoint() -> None:
-                artifact.timings["phase1"] = timing_base + (
-                    time.perf_counter() - stage_started
+            with clock.stage("phase1"), tracer.span(
+                "stage:phase1", cat="pipeline"
+            ) as stage_span:
+                self._run_phase1(
+                    artifact, config, cached, state, checkpoint,
+                    registry, tracer, stage_span.id,
                 )
+                artifact.stage = "phase1"
                 checkpoint()
-
-            self._run_phase1(
-                artifact, config, cached, state, phase1_checkpoint
-            )
-            artifact.stage = "phase1"
-            phase1_checkpoint()
 
         trees = artifact.trees()
 
         if not artifact.stage_done("translate"):
-            started = time.perf_counter()
-            artifact.grammar = translate_trees(trees)
-            artifact.stage = "translate"
-            add_timing("translate", started)
+            with clock.stage("translate"), tracer.span(
+                "stage:translate", cat="pipeline"
+            ):
+                artifact.grammar = translate_trees(trees)
+                artifact.stage = "translate"
             checkpoint()
 
         if not artifact.stage_done("phase2"):
-            stage_started = time.perf_counter()
-            timing_base = artifact.timings.get("phase2", 0.0)
-
-            def phase2_checkpoint() -> None:
-                artifact.timings["phase2"] = timing_base + (
-                    time.perf_counter() - stage_started
-                )
+            with clock.stage("phase2"), tracer.span(
+                "stage:phase2", cat="pipeline"
+            ) as stage_span:
+                if config.enable_phase2:
+                    self._run_phase2(
+                        artifact, config, trees, cached, counting, state,
+                        checkpoint, registry, tracer, stage_span.id,
+                    )
+                artifact.stage = "phase2"
                 checkpoint()
 
-            if config.enable_phase2:
-                self._run_phase2(
-                    artifact, config, trees, cached, counting, state,
-                    phase2_checkpoint,
-                )
-            artifact.stage = "phase2"
-            phase2_checkpoint()
-
         if not artifact.stage_done("finalize"):
-            started = time.perf_counter()
-            artifact.grammar = artifact.grammar.restricted_to_reachable()
-            artifact.stage = "finalize"
-            artifact.status = "complete"
-            add_timing("finalize", started)
-            checkpoint()
+            with clock.stage("finalize"), tracer.span(
+                "stage:finalize", cat="pipeline"
+            ):
+                artifact.grammar = artifact.grammar.restricted_to_reachable()
+                artifact.stage = "finalize"
+                artifact.status = "complete"
+            # Outside the stage block: the final save's telemetry and
+            # timings include the closed finalize span.
+            checkpoint(final=True)
 
         return artifact
 
@@ -261,6 +291,9 @@ class LearningPipeline:
         cached: CachingOracle,
         state: "_RunAccounting",
         checkpoint,
+        registry: MetricsRegistry,
+        tracer,
+        stage_span_id,
     ) -> None:
         """Learn every validated seed on the configured backend, then
         settle final seed states in seed order (the §6.1 rule)."""
@@ -276,11 +309,21 @@ class LearningPipeline:
         session = MembershipSession(
             use_engine=config.use_engine, use_dense=config.use_dense
         )
-        tier_totals: Dict[str, int] = {}
+        if tracer.enabled:
+            observe_engine(session, tracer)
 
-        def add_tiers(summary: Dict[str, int]) -> None:
-            for name, value in summary.items():
-                tier_totals[name] = tier_totals.get(name, 0) + value
+        def absorb_outcome(outcome: SeedResult) -> None:
+            state.absorb(artifact, outcome)
+            # Worker telemetry merges in task order: metrics counters
+            # (including the task's ``engine.*`` tier counters) into
+            # the registry, spans under the seed's shard.
+            registry.merge(outcome.telemetry.get("metrics"))
+            if tracer.enabled:
+                tracer.absorb(
+                    "seed:{}".format(outcome.index),
+                    outcome.telemetry.get("spans", ()),
+                    parent=stage_span_id,
+                )
 
         with executor:
             if executor.name == "serial":
@@ -292,10 +335,10 @@ class LearningPipeline:
                 payloads = self._settle_seeds(
                     artifact, config, session, state, checkpoint,
                     oracle=cached, emit_pending=True,
-                    task_session=session,
+                    task_session=session, tracer=tracer,
                 )
                 for outcome in run_pending(executor, payloads):
-                    state.absorb(artifact, outcome)
+                    absorb_outcome(outcome)
                     self._keep(artifact, outcome.index, session)
                     checkpoint()
             else:
@@ -308,23 +351,29 @@ class LearningPipeline:
                     if record.state == SEED_VALIDATED
                 ]
                 for outcome in run_pending(executor, payloads):
-                    state.absorb(artifact, outcome)
-                    add_tiers(outcome.tiers)
+                    absorb_outcome(outcome)
                     artifact.seeds[outcome.index].state = SEED_LEARNED
                     checkpoint()
                 for _ in self._settle_seeds(
                     artifact, config, session, state, checkpoint,
-                    oracle=None, emit_pending=False,
+                    oracle=None, emit_pending=False, tracer=tracer,
                 ):
                     raise AssertionError(
                         "validated seed left after parallel learning"
                     )
+        registry.add("exec.phase1.submitted", executor.submitted)
+        registry.add("exec.phase1.completed", executor.completed)
+        registry.observe("exec.phase1.peak_in_flight", executor.peak_in_flight)
         # Matcher-tier telemetry: the parent session's counters (§6.1
         # coverage probes; on the serial path also every task's, since
-        # tasks share this session) plus worker-side deltas. Execution
-        # metadata only — never compared by the eval gate.
-        add_tiers(session.tier_summary())
-        artifact.execution["matcher_tiers"] = tier_totals
+        # tasks share this session) plus the worker-side ``engine.*``
+        # deltas already merged into the registry. Execution metadata
+        # only — never compared by the eval gate.
+        for name, value in session.tier_summary().items():
+            registry.add("engine." + name, value)
+        artifact.execution["matcher_tiers"] = counters_with_prefix(
+            registry.snapshot(), "engine."
+        )
 
     def _settle_seeds(
         self,
@@ -336,6 +385,7 @@ class LearningPipeline:
         oracle,
         emit_pending: bool,
         task_session: Optional[MembershipSession] = None,
+        tracer=NULL_TRACER,
     ) -> Iterator[Dict[str, Any]]:
         """Walk seeds in order, settling states and yielding payloads.
 
@@ -368,6 +418,10 @@ class LearningPipeline:
                 if config.skip_covered_seeds and tracker.covered(index):
                     state.discard(artifact, index)
                     record.state = SEED_SKIPPED
+                    # The discarded speculation's spans go with it: a
+                    # serial run never did this work, and the trace
+                    # structure must match the serial run's.
+                    tracer.discard_shard("seed:{}".format(index))
                 else:
                     self._keep(artifact, index, session)
                 checkpoint()
@@ -405,6 +459,9 @@ class LearningPipeline:
         counting: CountingOracle,
         state: "_RunAccounting",
         checkpoint,
+        registry: MetricsRegistry,
+        tracer,
+        stage_span_id,
     ) -> None:
         """Merge repetitions on the configured backend, committing (and
         checkpointing) pairs in plan order.
@@ -447,9 +504,20 @@ class LearningPipeline:
         with executor:
             if executor.name == "serial":
                 while not committer.done:
-                    event = committer.commit_serial(counting)
+                    index = committer.committed
+                    pair_shard = "pair:{}".format(index)
+                    with tracer.span(
+                        "pair", cat="phase2", shard=pair_shard,
+                        args={"index": index},
+                    ):
+                        event = committer.commit_serial(counting)
                     if event.evaluated:
                         checkpoint()
+                    else:
+                        # Skipped for free — a traced serial run keeps
+                        # pair shards only for evaluated pairs, the
+                        # same rule the wavefront applies.
+                        tracer.discard_shard(pair_shard)
             else:
 
                 def on_commit(event) -> None:
@@ -467,6 +535,14 @@ class LearningPipeline:
                     self.oracle,
                     known=cached.known_results(),
                     on_commit=on_commit,
+                    registry=registry,
+                    tracer=tracer,
+                    span_parent=stage_span_id,
+                )
+                registry.add("exec.phase2.submitted", executor.submitted)
+                registry.add("exec.phase2.completed", executor.completed)
+                registry.observe(
+                    "exec.phase2.peak_in_flight", executor.peak_in_flight
                 )
         artifact.phase2_result = committer.finish(artifact.grammar)
         artifact.grammar = artifact.phase2_result.grammar

@@ -33,9 +33,8 @@ from __future__ import annotations
 import hashlib
 import pathlib
 import random
-import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.artifacts.run import RunArtifact, load_artifact, save_artifact
 from repro.artifacts.schema import ArtifactError
@@ -53,6 +52,9 @@ from repro.evaluation.metrics import GrammarView, estimate_precision
 from repro.evaluation.reporting import format_table
 from repro.exec.backends import make_executor
 from repro.exec.subject_shard import run_subjects, subject_payload
+from repro.obs.export import build_telemetry
+from repro.obs.metrics import MetricsRegistry, Stopwatch
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.fuzzing.grammar_fuzzer import GrammarFuzzer
 from repro.programs import (
     SUBJECT_NAMES,
@@ -109,9 +111,10 @@ def default_subject_config(subject: Subject) -> GladeConfig:
 
 
 #: GladeConfig fields that change *what* is learned. Execution knobs
-#: (jobs, backend) are excluded: the learned grammar and counted query
-#: totals are identical at any worker count, so artifacts are shared
-#: across them.
+#: (jobs, backend) and the observation knob (trace) are excluded: the
+#: learned grammar and counted query totals are identical at any worker
+#: count and with tracing on or off, so artifacts are shared across
+#: them.
 _SEMANTIC_CONFIG_FIELDS = (
     "enable_phase2",
     "enable_chargen",
@@ -321,7 +324,7 @@ def derive_subject_metrics(
         params = SuiteParams()
     subject = get_subject(name)
     grammar = artifact.require_grammar()
-    started = time.perf_counter()
+    watch = Stopwatch()
 
     view = GrammarView(grammar)
     # Fig 4: precision from fixed-seed grammar samples...
@@ -384,7 +387,7 @@ def derive_subject_metrics(
     )
     perf = SubjectPerf(
         synthesis_seconds=artifact.duration_seconds(),
-        metrics_seconds=time.perf_counter() - started,
+        metrics_seconds=watch.seconds,
         speculative_queries=artifact.speculative_queries,
         matcher_tiers=dict(
             (artifact.execution or {}).get("matcher_tiers") or {}
@@ -427,6 +430,7 @@ def run_suite(
     backend: str = "auto",
     cache: Optional[SubjectArtifactCache] = None,
     params: Optional[SuiteParams] = None,
+    trace: bool = False,
 ) -> SuiteResult:
     """Learn every requested subject once and derive all suite metrics.
 
@@ -437,6 +441,14 @@ def run_suite(
     function of the artifacts and ``params``, so the resulting
     ``metrics`` section is byte-identical at any job count
     (:func:`repro.artifacts.suite.canonical_metrics_bytes`).
+
+    ``trace=True`` turns on structured tracing (:mod:`repro.obs`):
+    each subject learns with ``GladeConfig.trace`` set, fresh
+    artifacts' telemetry is grafted under ``subject:<name>`` shard
+    prefixes into one suite-level trace, and the result carries a
+    ``telemetry`` section. Observation only — grammars, counted
+    queries, and the canonical metrics bytes are identical with
+    tracing on or off.
     """
     names = resolve_subjects(subjects)
     if cache is None:
@@ -445,6 +457,9 @@ def run_suite(
         params = SuiteParams()
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+
+    registry = MetricsRegistry()
+    tracer: Any = Tracer() if trace else NULL_TRACER
 
     # Snapshot the cache counters: the execution record reports *this
     # run's* hits/misses, not the cache's lifetime totals (the shared
@@ -456,6 +471,11 @@ def run_suite(
     for name in names:
         subject = get_subject(name)
         config = default_subject_config(subject)
+        if trace:
+            # ``trace`` is deliberately outside _SEMANTIC_CONFIG_FIELDS:
+            # traced and untraced runs share cache entries (a cached
+            # untraced artifact just has no telemetry to graft).
+            config = replace(config, trace=True)
         cached = cache.lookup(subject, config)
         if cached is not None:
             artifacts[name] = cached
@@ -486,6 +506,7 @@ def run_suite(
                     )
                     artifacts[result.name] = result.artifact
                     worker_seconds[result.name] = result.seconds
+                    registry.merge(result.telemetry.get("metrics"))
         else:
             for name, subject, config in pending:
                 if jobs > 1:
@@ -494,11 +515,24 @@ def run_suite(
                     # grammar and counted queries by the exec-subsystem
                     # determinism guarantee.
                     config = replace(config, jobs=jobs, backend=backend)
-                learn_started = time.perf_counter()
-                artifact = learn_subject(subject, config)
-                worker_seconds[name] = time.perf_counter() - learn_started
+                with registry.timer("subject.seconds") as timer:
+                    artifact = learn_subject(subject, config)
+                worker_seconds[name] = timer.seconds
                 cache.absorb(subject, config, artifact)
                 artifacts[name] = artifact
+
+    if tracer.enabled:
+        # One suite-level timeline: every freshly traced artifact's
+        # spans land under a ``subject:<name>`` shard prefix, in the
+        # deterministic subject order (cached artifacts learned without
+        # tracing simply contribute nothing).
+        for name in names:
+            run_telemetry = artifacts[name].telemetry
+            if run_telemetry:
+                registry.merge(run_telemetry.get("metrics"))
+                tracer.graft(
+                    "subject:" + name, run_telemetry.get("spans", ())
+                )
 
     suite = SuiteResult(
         subjects=names,
@@ -516,11 +550,14 @@ def run_suite(
         environment=environment_record(),
     )
     for name in names:
-        metrics, perf = derive_subject_metrics(
-            name, artifacts[name], params
-        )
+        with tracer.span("subject:" + name, cat="suite"):
+            metrics, perf = derive_subject_metrics(
+                name, artifacts[name], params
+            )
         suite.metrics[name] = metrics
         suite.perf[name] = perf
+    if tracer.enabled:
+        suite.telemetry = build_telemetry(tracer, registry)
     return suite
 
 

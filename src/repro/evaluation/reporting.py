@@ -67,7 +67,11 @@ def summarize_artifact(artifact) -> str:
     """Render a :class:`~repro.artifacts.run.RunArtifact` as a report.
 
     Works on in-progress artifacts too (`repro show` on a checkpoint of
-    a killed run reports how far it got).
+    a killed run reports how far it got). The report is a list of
+    sections joined by blank lines; sections with nothing to say are
+    replaced by an explicit "not recorded" note (older artifacts and
+    interrupted runs legitimately lack execution or timing records)
+    rather than printed empty.
     """
     from repro.artifacts.run import STAGES
 
@@ -112,6 +116,16 @@ def summarize_artifact(artifact) -> str:
                     tiers.get("nfa_matches", 0),
                 )
             )
+    else:
+        lines.append("execution: not recorded")
+    telemetry = getattr(artifact, "telemetry", None)
+    if telemetry:
+        lines.append(
+            "telemetry: {} span(s) recorded (see repro show "
+            "--stats / repro trace)".format(
+                len(telemetry.get("spans") or ())
+            )
+        )
     if artifact.phase2_progress:
         from repro.core.phase2 import (
             PAIR_MERGED,
@@ -133,41 +147,145 @@ def summarize_artifact(artifact) -> str:
                 decisions.count(PAIR_SKIPPED),
             )
         )
-    lines.append("")
-    lines.append(
-        format_table(
-            ["seed", "source", "state", "queries"],
-            [
-                [_elide(repr(s.text), 32), s.source or "-", s.state, s.queries]
-                for s in artifact.seeds
-            ],
+    sections = ["\n".join(lines)]
+
+    if artifact.seeds:
+        sections.append(
+            format_table(
+                ["seed", "source", "state", "queries"],
+                [
+                    [
+                        _elide(repr(s.text), 32),
+                        s.source or "-",
+                        s.state,
+                        s.queries,
+                    ]
+                    for s in artifact.seeds
+                ],
+            )
         )
-    )
+    else:
+        sections.append("seeds: none recorded")
+
     timed = [
         [stage, artifact.timings[stage]]
         for stage in STAGES
         if stage in artifact.timings
     ]
     if timed:
-        lines.append("")
-        lines.append(format_table(["stage", "seconds"], timed))
-    lines.append("")
+        sections.append(format_table(["stage", "seconds"], timed))
+    else:
+        sections.append("stage timings: not recorded")
+
+    tail = []
     for index, regex in enumerate(artifact.regexes()):
-        lines.append(
+        tail.append(
             "phase-one regex [{}]: {}".format(index, _elide(str(regex)))
         )
     if artifact.phase2_result is not None:
         merged = artifact.phase2_result.merged_pairs()
-        lines.append("phase-two merges: {}".format(len(merged)))
+        tail.append("phase-two merges: {}".format(len(merged)))
     if artifact.grammar is not None:
-        lines.append(
+        tail.append(
             "grammar: {} nonterminals, {} productions".format(
                 len(artifact.grammar.nonterminals()),
                 len(artifact.grammar.productions),
             )
         )
-        lines.append("")
-        lines.append(str(artifact.grammar))
+        tail.append("")
+        tail.append(str(artifact.grammar))
     else:
-        lines.append("grammar: not yet translated")
-    return "\n".join(lines)
+        tail.append("grammar: not yet translated")
+    sections.append("\n".join(tail))
+    return "\n\n".join(section for section in sections if section)
+
+
+def format_stats(artifact) -> str:
+    """Render an artifact's telemetry (`repro show --stats`).
+
+    Stage timings with percentages, the per-shard span breakdown, and
+    the counter/histogram tables — everything the metrics registry and
+    tracer recorded. Degrades to a pointer at ``--trace`` when the
+    artifact has no telemetry section (untraced or pre-v4 run).
+    """
+    from repro.artifacts.run import STAGES
+
+    sections = []
+    timed = [
+        (stage, artifact.timings[stage])
+        for stage in STAGES
+        if stage in artifact.timings
+    ]
+    if timed:
+        total = sum(seconds for _stage, seconds in timed)
+        sections.append(
+            "stage timings\n"
+            + format_table(
+                ["stage", "seconds", "% of run"],
+                [
+                    [
+                        stage,
+                        seconds,
+                        100.0 * seconds / total if total else 0.0,
+                    ]
+                    for stage, seconds in timed
+                ],
+            )
+        )
+    else:
+        sections.append("stage timings: not recorded")
+
+    telemetry = getattr(artifact, "telemetry", None)
+    if not telemetry:
+        sections.append(
+            "telemetry: not recorded — learn with --trace to collect "
+            "spans and counters"
+        )
+        return "\n\n".join(sections)
+
+    spans = telemetry.get("spans") or []
+    if spans:
+        by_shard = {}
+        for span in spans:
+            slot = by_shard.setdefault(span.get("shard", ""), [0, 0.0])
+            slot[0] += 1
+            slot[1] += float(span.get("dur") or 0.0)
+        title = "spans by shard ({} total".format(len(spans))
+        dropped = telemetry.get("dropped_spans", 0)
+        if dropped:
+            title += ", {} dropped at the cap".format(dropped)
+        title += ")"
+        sections.append(
+            title
+            + "\n"
+            + format_table(
+                ["shard", "spans", "seconds"],
+                [
+                    [shard or "(main)", count, seconds]
+                    for shard, (count, seconds) in sorted(by_shard.items())
+                ],
+            )
+        )
+
+    metrics = telemetry.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        sections.append(
+            "counters\n"
+            + format_table(
+                ["counter", "value"], sorted(counters.items())
+            )
+        )
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        sections.append(
+            "histograms\n"
+            + format_table(
+                ["histogram", "count", "total", "min", "max"],
+                [
+                    [name, h["count"], h["total"], h["min"], h["max"]]
+                    for name, h in sorted(histograms.items())
+                ],
+            )
+        )
+    return "\n\n".join(sections)

@@ -60,6 +60,15 @@ class Executor:
     #: snapshots). The conservative default is False.
     in_process: bool = False
 
+    #: Lifetime utilization counters (read by the observability layer
+    #: after a stage finishes; purely informational). ``peak_in_flight``
+    #: is the largest number of simultaneously submitted-but-unfinished
+    #: tasks — ``peak_in_flight / jobs`` approximates worker
+    #: utilization for saturating workloads.
+    submitted: int = 0
+    completed: int = 0
+    peak_in_flight: int = 0
+
     def unordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> Iterator[Tuple[int, Any]]:
@@ -116,7 +125,11 @@ class SerialExecutor(Executor):
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> Iterator[Tuple[int, Any]]:
         for index, payload in enumerate(payloads):
-            yield index, fn(payload)
+            self.submitted += 1
+            self.peak_in_flight = max(self.peak_in_flight, 1)
+            result = fn(payload)
+            self.completed += 1
+            yield index, result
 
     def unordered_stream(
         self,
@@ -148,7 +161,9 @@ class _PoolExecutor(Executor):
             self._pool.submit(fn, payload): index
             for index, payload in enumerate(payloads)
         }
+        self.submitted += len(futures)
         pending = set(futures)
+        self.peak_in_flight = max(self.peak_in_flight, len(pending))
         try:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -156,6 +171,7 @@ class _PoolExecutor(Executor):
                     # .result() re-raises the worker's exception as-is
                     # (the process backend reconstructs it by pickle),
                     # preserving exception-transparency.
+                    self.completed += 1
                     yield futures[future], future.result()
         finally:
             for future in pending:
@@ -189,6 +205,9 @@ class _PoolExecutor(Executor):
                     break
                 futures[self._pool.submit(fn, payload)] = position
                 position += 1
+                self.submitted += 1
+                if len(futures) > self.peak_in_flight:
+                    self.peak_in_flight = len(futures)
 
         try:
             while True:
@@ -201,6 +220,7 @@ class _PoolExecutor(Executor):
                 # -done futures are re-drawn from ``wait`` (free) after
                 # the consumer has seen each predecessor.
                 future = done.pop()
+                self.completed += 1
                 yield futures.pop(future), future.result()
         finally:
             for future in futures:

@@ -46,7 +46,9 @@ from repro.core.phase2 import (
     MergePlan,
 )
 from repro.exec.backends import Executor
-from repro.learning.oracle import Oracle, query_many
+from repro.learning.oracle import Oracle, TracingOracle, query_many
+from repro.obs.metrics import MetricsRegistry, histogram_total
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Worker functions executor backends run as task payloads (walked by
 #: detlint's PAR001 shared-state race detector).
@@ -70,6 +72,9 @@ class PairOutcome:
     learned: Dict[str, bool]
     invocations: int
     seconds: float
+    #: The task's wire telemetry: ``{"metrics": <registry snapshot>,
+    #: "spans": [...]}`` (spans empty unless the run traces).
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
 
 def pair_payload(
@@ -77,6 +82,7 @@ def pair_payload(
     oracle: Oracle,
     known: Dict[str, bool],
     concurrent: bool,
+    trace: bool = False,
 ) -> Dict[str, Any]:
     """The task payload for one merge-candidate pair.
 
@@ -101,6 +107,7 @@ def pair_payload(
         "oracle": oracle,
         "known": known,
         "concurrent": concurrent,
+        "trace": trace,
     }
 
 
@@ -116,50 +123,70 @@ def run_pair_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     checks: Tuple[str, ...] = payload["checks"]
     known: Dict[str, bool] = payload["known"]
     oracle: Oracle = payload["oracle"]
-    started = time.perf_counter()
+    registry = MetricsRegistry()
+    tracer = Tracer() if payload.get("trace") else NULL_TRACER
+    if tracer.enabled:
+        oracle = TracingOracle(oracle, registry, tracer)
     learned: Dict[str, bool] = {}
     invocations = 0
     verdicts = []
-    if payload["concurrent"]:
-        unknown = [c for c in dict.fromkeys(checks) if c not in known]
-        if unknown:
-            answers = query_many(oracle, unknown)
-            learned.update(zip(unknown, (bool(a) for a in answers)))
-            known.update(learned)  # publish to concurrent siblings
-            invocations += len(unknown)
-        for check in checks:
-            cached = learned.get(check)
-            verdicts.append(cached if cached is not None else known[check])
-    else:
-        for check in checks:
-            verdict = known.get(check)
-            if verdict is None:
-                verdict = learned.get(check)
-            if verdict is None:
-                verdict = bool(oracle(check))
-                learned[check] = verdict
-                known[check] = verdict  # publish to concurrent siblings
-                invocations += 1
-            verdicts.append(verdict)
-            if not verdict:
-                break
+    with registry.timer("pair.seconds"):
+        with tracer.span(
+            "pair", cat="phase2", args={"index": payload["index"]}
+        ):
+            if payload["concurrent"]:
+                unknown = [
+                    c for c in dict.fromkeys(checks) if c not in known
+                ]
+                if unknown:
+                    answers = query_many(oracle, unknown)
+                    learned.update(
+                        zip(unknown, (bool(a) for a in answers))
+                    )
+                    known.update(learned)  # publish to concurrent siblings
+                    invocations += len(unknown)
+                for check in checks:
+                    cached = learned.get(check)
+                    verdicts.append(
+                        cached if cached is not None else known[check]
+                    )
+            else:
+                for check in checks:
+                    verdict = known.get(check)
+                    if verdict is None:
+                        verdict = learned.get(check)
+                    if verdict is None:
+                        verdict = bool(oracle(check))
+                        learned[check] = verdict
+                        known[check] = verdict  # publish to siblings
+                        invocations += 1
+                    verdicts.append(verdict)
+                    if not verdict:
+                        break
+    registry.add("exec.phase2.tasks")
     return {
         "index": payload["index"],
         "verdicts": tuple(verdicts),
         "learned": learned,
         "invocations": invocations,
-        "seconds": time.perf_counter() - started,
+        "telemetry": {
+            "metrics": registry.snapshot(),
+            "spans": tracer.snapshot(),
+        },
     }
 
 
 def decode_pair(raw: Dict[str, Any]) -> PairOutcome:
-    """Decode a worker's wire-format result."""
+    """Decode a worker's wire-format result (``seconds`` is read out
+    of the task's metrics snapshot)."""
+    telemetry = raw.get("telemetry") or {}
     return PairOutcome(
         index=raw["index"],
         verdicts=tuple(raw["verdicts"]),
         learned=dict(raw["learned"]),
         invocations=raw["invocations"],
-        seconds=raw["seconds"],
+        seconds=histogram_total(telemetry.get("metrics"), "pair.seconds"),
+        telemetry=telemetry,
     )
 
 
@@ -195,6 +222,9 @@ def run_merge_wavefront(
     dedup: bool = True,
     window: Optional[int] = None,
     on_commit: Optional[Callable[..., None]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Any = None,
+    span_parent: Optional[int] = None,
 ) -> WavefrontStats:
     """Drive phase 2's remaining pairs through an executor.
 
@@ -213,11 +243,20 @@ def run_merge_wavefront(
     (e.g. from the parent's membership cache); ``dedup=False`` disables
     the planner table entirely, which is the naive per-pair sharding
     baseline the benchmark compares against.
+
+    Observability: worker metrics snapshots merge into ``registry`` in
+    arrival order (work actually performed); worker *spans* absorb into
+    ``tracer`` only when the pair commits with a real decision, in
+    commit order under a ``pair:<index>`` shard — a pair the serial
+    loop would have skipped contributes no spans, keeping the trace
+    structure identical to a serial run's.
     """
     table: Dict[str, bool] = known if dedup and known is not None else {}
     stats = WavefrontStats()
     started = time.perf_counter()
     outcomes: Dict[int, PairOutcome] = {}
+    live_tracer = tracer if tracer is not None else NULL_TRACER
+    trace = bool(getattr(live_tracer, "enabled", False))
 
     def emit(event) -> None:
         stats.counted_queries += event.queries
@@ -237,7 +276,14 @@ def run_merge_wavefront(
                 # even if the pair has since become transitively
                 # equated — that path books its cost as speculative.
                 outcome = outcomes.pop(committer.committed)
-                emit(committer.commit_outcome(outcome.verdicts))
+                event = committer.commit_outcome(outcome.verdicts)
+                if trace and event.decision != PAIR_SKIPPED:
+                    live_tracer.absorb(
+                        "pair:{}".format(outcome.index),
+                        outcome.telemetry.get("spans", ()),
+                        parent=span_parent,
+                    )
+                emit(event)
             elif committer.next_is_skip():
                 emit(committer.commit_skip())
             else:
@@ -263,7 +309,8 @@ def run_merge_wavefront(
                     if check in table
                 }
             yield pair_payload(
-                pair, oracle, view, concurrent=committer.concurrent
+                pair, oracle, view, concurrent=committer.concurrent,
+                trace=trace,
             )
 
     drain()
@@ -273,6 +320,11 @@ def run_merge_wavefront(
         outcome = decode_pair(raw)
         stats.invocations += outcome.invocations
         stats.table_hits += len(outcome.verdicts) - outcome.invocations
+        if registry is not None:
+            # Arrival order: metrics record work actually performed
+            # (speculation included), unlike the counted accounting.
+            registry.merge(outcome.telemetry.get("metrics"))
+            registry.observe("phase2.queue_depth", len(outcomes))
         if dedup:
             table.update(outcome.learned)
         if outcome.index < committer.committed:

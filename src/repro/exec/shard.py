@@ -30,8 +30,7 @@ speculative learning work happens.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterator, Sequence
 
 from repro.core.chargen import generalize_characters
@@ -39,7 +38,18 @@ from repro.core.gtree import seed_block_allocator
 from repro.core.phase1 import Phase1Result, synthesize_regex
 from repro.exec.backends import Executor
 from repro.languages.engine import MembershipSession
-from repro.learning.oracle import CachingOracle, CountingOracle, Oracle
+from repro.learning.oracle import (
+    CachingOracle,
+    CountingOracle,
+    Oracle,
+    TracingOracle,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counters_with_prefix,
+    histogram_total,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Worker functions executor backends run as task payloads. detlint's
 #: PAR001 walks the call graph from every function registered here and
@@ -52,10 +62,13 @@ TASK_ENTRY_POINTS = ("run_seed_task",)
 class SeedResult:
     """One seed's merged phase-1 outcome, decoded on the parent side.
 
-    ``tiers`` carries the task session's matcher-tier counters
-    (:meth:`~repro.languages.engine.Engine.tier_summary`) — empty when
+    ``seconds`` and ``tiers`` are derived views of ``telemetry`` — the
+    task's metrics-registry snapshot (plus its spans under ``--trace``)
+    — kept as named fields because the pipeline's artifact merge reads
+    them. ``tiers`` is the task session's matcher-tier counters
+    (:meth:`~repro.languages.engine.Engine.tier_summary`); empty when
     the task shared the parent's session (the parent's own counters
-    already include the task's work) or predates the field.
+    already include the task's work).
     """
 
     index: int
@@ -64,6 +77,9 @@ class SeedResult:
     digests: FrozenSet[int]
     seconds: float
     tiers: Dict[str, int]
+    #: The task's wire telemetry: ``{"metrics": <registry snapshot>,
+    #: "spans": [...]}`` (spans empty unless the run traces).
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
 
 def seed_payload(
@@ -113,12 +129,21 @@ def run_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     index = payload["index"]
     config = payload["config"]
+    # Task-local observability: the registry always runs (it backs the
+    # per-seed ``seconds`` and matcher-tier fields the artifact has
+    # always recorded); spans only under ``--trace``.
+    registry = MetricsRegistry()
+    tracer = Tracer() if getattr(config, "trace", False) else NULL_TRACER
     if payload.get("shared_cache"):
-        # The payload oracle already is a (shared) caching layer.
+        # The payload oracle already is a (shared) caching layer — on
+        # the serial path its stack carries the parent's tracing layer.
         cached = None
         counting = CountingOracle(payload["oracle"])
     else:
-        cached = CachingOracle(payload["oracle"])
+        base = payload["oracle"]
+        if tracer.enabled:
+            base = TracingOracle(base, registry, tracer)
+        cached = CachingOracle(base)
         counting = CountingOracle(cached)
     shared_session = payload.get("session")
     session = shared_session
@@ -126,40 +151,74 @@ def run_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         session = MembershipSession(
             use_engine=config.use_engine, use_dense=config.use_dense
         )
-    started = time.perf_counter()
-    result = synthesize_regex(
-        payload["text"],
-        counting,
-        record_trace=config.record_trace,
-        session=session,
-        allocator=seed_block_allocator(index),
-    )
-    if config.enable_chargen:
-        generalize_characters(result.root, counting, config.alphabet)
+        if tracer.enabled:
+            observe_engine(session, tracer)
+    with registry.timer("seed.seconds"):
+        with tracer.span("seed", cat="phase1", args={"index": index}):
+            with tracer.span("synthesize", cat="phase1"):
+                result = synthesize_regex(
+                    payload["text"],
+                    counting,
+                    record_trace=config.record_trace,
+                    session=session,
+                    allocator=seed_block_allocator(index),
+                )
+            if config.enable_chargen:
+                with tracer.span("chargen", cat="phase1"):
+                    generalize_characters(
+                        result.root, counting, config.alphabet
+                    )
     result.seed_index = index
+    # Fresh sessions report their own tier counters (under the
+    # ``engine.`` prefix); shared ones report nothing — the parent
+    # session's counters cover their work.
+    if shared_session is None:
+        for name, value in session.tier_summary().items():
+            registry.add("engine." + name, value)
+    registry.add("exec.phase1.tasks")
     return {
         "index": index,
         "result": phase1_result_to_dict(result),
         "queries": counting.queries,
         "digests": tuple(cached.seen_digests) if cached is not None else (),
-        "seconds": time.perf_counter() - started,
-        # Fresh sessions report their own tier counters; shared ones
-        # report nothing (the parent session's counters cover them).
-        "tiers": session.tier_summary() if shared_session is None else {},
+        "telemetry": {
+            "metrics": registry.snapshot(),
+            "spans": tracer.snapshot(),
+        },
     }
 
 
+def observe_engine(session: MembershipSession, tracer: Tracer) -> None:
+    """Wire a session's engine tier transitions to instant trace events."""
+    engine = getattr(session, "engine", None)
+    if engine is None:
+        return
+
+    def observer(kind: str, detail: Dict[str, Any]) -> None:
+        tracer.event(kind, cat="engine", args=detail)
+
+    engine.observer = observer
+
+
 def decode_task(raw: Dict[str, Any]) -> SeedResult:
-    """Decode a worker's wire-format result into live objects."""
+    """Decode a worker's wire-format result into live objects.
+
+    The per-seed ``seconds`` and matcher-tier counters are read out of
+    the task's metrics snapshot — the registry is the single source of
+    timing truth; no parallel hand-rolled accumulation.
+    """
     from repro.artifacts.schema import phase1_result_from_dict
 
+    telemetry = raw.get("telemetry") or {}
+    metrics = telemetry.get("metrics")
     return SeedResult(
         index=raw["index"],
         result=phase1_result_from_dict(raw["result"]),
         queries=raw["queries"],
         digests=frozenset(raw["digests"]),
-        seconds=raw["seconds"],
-        tiers=dict(raw.get("tiers", ())),
+        seconds=histogram_total(metrics, "seed.seconds"),
+        tiers=counters_with_prefix(metrics, "engine."),
+        telemetry=telemetry,
     )
 
 

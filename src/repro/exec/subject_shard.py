@@ -19,14 +19,14 @@ worker process (per-seed star-id blocks, run-local residual seeds).
 
 from __future__ import annotations
 
-import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterator, Sequence
 
 from repro.artifacts.run import RunArtifact
 from repro.core.glade import GladeConfig
 from repro.core.pipeline import LearningPipeline
 from repro.exec.backends import Executor
+from repro.obs.metrics import MetricsRegistry, histogram_total
 
 #: Worker functions executor backends run as task payloads (walked by
 #: detlint's PAR001 shared-state race detector).
@@ -35,11 +35,18 @@ TASK_ENTRY_POINTS = ("learn_subject_task",)
 
 @dataclass
 class SubjectResult:
-    """One subject's learning outcome, decoded on the parent side."""
+    """One subject's learning outcome, decoded on the parent side.
+
+    ``seconds`` is a derived view of ``telemetry`` (the worker's
+    metrics-registry snapshot) — the registry is the single timing
+    source; no hand-rolled perf-counter pairs ride the wire.
+    """
 
     name: str
     artifact: RunArtifact
     seconds: float
+    #: The worker's wire telemetry: ``{"metrics": <registry snapshot>}``.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
 
 def subject_payload(name: str, config: GladeConfig) -> Dict[str, Any]:
@@ -60,13 +67,15 @@ def learn_subject_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     name = payload["name"]
     config = GladeConfig(**payload["config"])
     subject = get_subject(name)
-    started = time.perf_counter()
-    pipeline = LearningPipeline(subject.accepts, config=config)
-    artifact = pipeline.run(subject.seeds)
+    registry = MetricsRegistry()
+    registry.add("exec.subject.tasks")
+    with registry.timer("subject.seconds"):
+        pipeline = LearningPipeline(subject.accepts, config=config)
+        artifact = pipeline.run(subject.seeds)
     return {
         "name": name,
         "artifact": artifact.to_dict(),
-        "seconds": time.perf_counter() - started,
+        "telemetry": {"metrics": registry.snapshot()},
     }
 
 
@@ -79,8 +88,12 @@ def run_subjects(
     subject appears at most once per batch), so ordering is free.
     """
     for _index, raw in executor.unordered(learn_subject_task, payloads):
+        telemetry = raw.get("telemetry") or {}
         yield SubjectResult(
             name=raw["name"],
             artifact=RunArtifact.from_dict(raw["artifact"]),
-            seconds=raw["seconds"],
+            seconds=histogram_total(
+                telemetry.get("metrics"), "subject.seconds"
+            ),
+            telemetry=telemetry,
         )

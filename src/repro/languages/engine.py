@@ -155,6 +155,12 @@ class Engine:
     #: lowering many times over.
     PROMOTE_THRESHOLD = 64
 
+    #: Optional tier-transition hook: ``observer(kind, detail)`` called
+    #: on dense promotions/failures (``--trace`` wires this to instant
+    #: trace events). Observation-only — it must never influence
+    #: matching.
+    observer = None
+
     def __init__(
         self,
         dense: bool = True,
@@ -210,10 +216,14 @@ class Engine:
             if table is None:
                 self.tier_stats.promotion_failures += 1
                 cached = _FAILED
+                if self.observer is not None:
+                    self.observer("promotion_failed", {})
             else:
                 self.tier_stats.fragments_promoted += 1
                 self.tier_stats.dense_states += table.n_states
                 cached = table
+                if self.observer is not None:
+                    self.observer("promoted", {"states": table.n_states})
             while len(self._dense_tables) >= self.MAX_DENSE_TABLES:
                 self._dense_tables.pop(next(iter(self._dense_tables)))
             self._dense_tables[expr] = cached

@@ -155,6 +155,46 @@ class CountingOracle:
         return query_many(self._oracle, texts)
 
 
+class TracingOracle:
+    """Pass-through observability wrapper for the oracle stack.
+
+    Records every *base* oracle invocation — count, batch size and
+    wall-clock latency — into a :class:`~repro.obs.metrics
+    .MetricsRegistry` and (when a live tracer is supplied) as
+    ``cat="oracle"`` spans. Strictly transparent otherwise: verdicts,
+    concurrency and batching are forwarded unchanged, so inserting this
+    layer between a cache and its base oracle changes no query
+    accounting. The pipeline only builds it under ``--trace``.
+    """
+
+    def __init__(self, oracle: Oracle, registry, tracer=None):
+        from repro.obs.trace import NULL_TRACER
+
+        self._oracle = oracle
+        self._registry = registry
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    @property
+    def concurrent(self) -> bool:
+        return supports_concurrency(self._oracle)
+
+    def __call__(self, text: str) -> bool:
+        self._registry.add("oracle.calls")
+        with self._tracer.span("query", cat="oracle"):
+            with self._registry.timer("oracle.seconds"):
+                return self._oracle(text)
+
+    def query_many(self, texts: Sequence[str]) -> List[bool]:
+        self._registry.add("oracle.calls", len(texts))
+        self._registry.add("oracle.batches")
+        span = self._tracer.span(
+            "batch", cat="oracle", args={"n": len(texts)}
+        )
+        with span:
+            with self._registry.timer("oracle.seconds"):
+                return query_many(self._oracle, texts)
+
+
 class CachingOracle:
     """Wrap an oracle with a memo table.
 

@@ -1,0 +1,54 @@
+"""Observability: span tracing, metrics, and timeline export.
+
+The subsystem is stdlib-only and deliberately separated from the
+deterministic learning surface: spans and histograms carry wall-clock
+readings (``time.monotonic`` / ``time.perf_counter``), so nothing in
+this package may flow into ``SubjectMetrics`` or any other field under
+the ``canonical_metrics_bytes`` contract. detlint enforces that split
+(DET003 treats telemetry snapshots as tainted sources outside this
+package).
+
+Layout:
+
+- :mod:`repro.obs.trace` — ``Tracer`` spans with parent/child nesting
+  and per-shard buffers that merge deterministically in task order;
+  ``NULL_TRACER`` is the disabled-mode no-op.
+- :mod:`repro.obs.metrics` — ``MetricsRegistry`` counters/histograms
+  plus the ``StageClock``/``Stopwatch`` helpers that now back the
+  pre-existing artifact timing fields.
+- :mod:`repro.obs.export` — versioned telemetry sections for
+  artifacts and Chrome ``trace_event`` export (Perfetto /
+  ``chrome://tracing``).
+"""
+
+from repro.obs.export import (
+    TELEMETRY_VERSION,
+    build_telemetry,
+    chrome_trace,
+    span_structure,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    StageClock,
+    Stopwatch,
+    counters_with_prefix,
+    histogram_total,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "TELEMETRY_VERSION",
+    "build_telemetry",
+    "chrome_trace",
+    "span_structure",
+    "write_chrome_trace",
+    "MetricsRegistry",
+    "StageClock",
+    "Stopwatch",
+    "counters_with_prefix",
+    "histogram_total",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+]

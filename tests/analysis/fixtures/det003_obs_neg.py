@@ -1,0 +1,23 @@
+"""DET003 negative fixture: telemetry reads confined to perf fields.
+
+The observability read API may feed SubjectPerf (warn-only) and plain
+telemetry plumbing without findings — only the deterministic
+SubjectMetrics surface is fenced.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def record_perf(perf, run):
+    registry = MetricsRegistry()
+    with registry.timer("subject.seconds") as timer:
+        run()
+    perf.metrics_seconds = timer.seconds
+    return registry.snapshot()
+
+
+def ship_telemetry(run):
+    registry = MetricsRegistry()
+    with registry.timer("subject.seconds"):
+        run()
+    return {"telemetry": {"metrics": registry.snapshot()}}

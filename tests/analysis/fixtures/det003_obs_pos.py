@@ -1,0 +1,29 @@
+"""DET003 positive fixture: telemetry reads are taint sources.
+
+No ``time.*`` call in sight — the wall-clock data arrives through the
+observability read API (a registry snapshot, a Stopwatch reading) and
+must still be blocked from deterministic metric fields. This is the
+property that justifies the blanket ``repro.obs`` exemption: timings
+cannot be laundered back into compared fields through the obs API.
+"""
+
+from repro.artifacts.suite import SubjectMetrics
+from repro.obs.metrics import MetricsRegistry, Stopwatch, histogram_total
+
+
+def leak_snapshot(run):
+    registry = MetricsRegistry()
+    with registry.timer("seed.seconds"):
+        run()
+    snap = registry.snapshot()
+    cost = histogram_total(snap, "seed.seconds")
+    # A histogram total is a wall-clock sum; precision is CI-compared.
+    return SubjectMetrics(precision=cost)
+
+
+def leak_stopwatch(metrics, run):
+    watch = Stopwatch()
+    run()
+    # Stopwatch.seconds is a live perf_counter read behind a property.
+    metrics.sample_length = int(watch.seconds)
+    return metrics

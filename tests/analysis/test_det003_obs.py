@@ -1,0 +1,40 @@
+"""DET003 × observability: the ``repro.obs`` exemption and the
+telemetry taint sources that justify it.
+
+The obs package reads the clock on nearly every line *by design* — its
+output lands only in telemetry sections that every deterministic
+comparison surface excludes — so the rule exempts it wholesale. The
+flip side, verified here, is that reading telemetry *out* (snapshots,
+Stopwatch.seconds, histogram totals) taints the value, so trace data
+still cannot flow into a CI-compared ``SubjectMetrics`` field.
+"""
+
+import pathlib
+
+from repro.analysis import analyze_paths
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+OBS_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "src" / "repro" / "obs"
+)
+
+
+def _analyze(path):
+    return analyze_paths([path], select=["DET003"]).new_findings()
+
+
+def test_telemetry_reads_taint_deterministic_fields():
+    findings = _analyze(FIXTURES / "det003_obs_pos.py")
+    assert len(findings) == 2
+    assert all(f.rule == "DET003" for f in findings)
+
+
+def test_telemetry_reads_into_perf_fields_are_clean():
+    assert _analyze(FIXTURES / "det003_obs_neg.py") == []
+
+
+def test_obs_package_is_exempt():
+    # The exemption is scoped by module name (repro.obs[.*]), which the
+    # project indexer derives by walking __init__.py packages — so it
+    # holds both for `repro lint src/` and for linting the directory.
+    assert _analyze(OBS_DIR) == []

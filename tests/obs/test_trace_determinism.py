@@ -1,0 +1,100 @@
+"""Tracing must observe without perturbing, at any parallelism.
+
+Two gated properties:
+
+- zero drift: with tracing *on*, the learned grammar and the counted
+  query totals are byte-identical to the untraced run, at jobs 1 and 4
+  (the acceptance criterion for the whole observability layer);
+- structural determinism: the *shape* of the trace — shard layout,
+  span nesting, names, categories for the deterministic span classes —
+  is identical across jobs {1, 2, 4} and the serial/thread/process
+  backends; only timestamps and durations may differ.
+"""
+
+import json
+
+import pytest
+
+from repro.artifacts import grammar_to_dict
+from repro.core.glade import GladeConfig
+from repro.core.pipeline import LearningPipeline
+from repro.obs.export import span_structure
+from repro.targets import get_target
+
+
+@pytest.fixture(scope="module")
+def xml():
+    return get_target("xml")
+
+
+@pytest.fixture(scope="module")
+def seeds(xml):
+    return sorted(xml.sample_seeds(4, seed=0), key=len)
+
+
+def learn(xml, seeds, jobs, backend, trace):
+    config = GladeConfig(
+        alphabet=xml.alphabet, jobs=jobs, backend=backend, trace=trace
+    )
+    return LearningPipeline(xml.oracle, config=config).run(seeds)
+
+
+@pytest.fixture(scope="module")
+def untraced_reference(xml, seeds):
+    return learn(xml, seeds, 1, "serial", trace=False)
+
+
+@pytest.fixture(scope="module")
+def traced_reference(xml, seeds):
+    return learn(xml, seeds, 1, "serial", trace=True)
+
+
+def serialized(artifact):
+    return json.dumps(grammar_to_dict(artifact.grammar), sort_keys=True)
+
+
+@pytest.mark.parametrize("jobs,backend", [
+    (1, "serial"),
+    (4, "thread"),
+], ids=["serial-j1", "thread-j4"])
+def test_tracing_causes_zero_drift(
+    xml, seeds, untraced_reference, jobs, backend
+):
+    traced = learn(xml, seeds, jobs, backend, trace=True)
+    assert serialized(traced) == serialized(untraced_reference)
+    assert str(traced.grammar) == str(untraced_reference.grammar)
+    assert traced.oracle_queries == untraced_reference.oracle_queries
+    assert traced.unique_queries == untraced_reference.unique_queries
+    assert [s.queries for s in traced.seeds] == [
+        s.queries for s in untraced_reference.seeds
+    ]
+
+
+def test_disabled_tracer_leaves_artifact_untouched(untraced_reference):
+    assert untraced_reference.telemetry is None
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("jobs,backend", [
+    (2, "thread"),
+    (4, "thread"),
+    (2, "process"),
+    (4, "process"),
+], ids=["thread-j2", "thread-j4", "process-j2", "process-j4"])
+def test_span_structure_is_jobs_invariant(
+    xml, seeds, traced_reference, jobs, backend
+):
+    traced = learn(xml, seeds, jobs, backend, trace=True)
+    assert span_structure(traced.telemetry) == span_structure(
+        traced_reference.telemetry
+    )
+
+
+def test_span_structure_thread_j2_matches_serial(
+    xml, seeds, traced_reference
+):
+    # The tier-1 (not slow) representative of the invariance matrix.
+    traced = learn(xml, seeds, 2, "thread", trace=True)
+    assert span_structure(traced.telemetry) == span_structure(
+        traced_reference.telemetry
+    )
