@@ -1,0 +1,247 @@
+"""Benchmark gate: injected faults never move the compared surface.
+
+ISSUE 9 acceptance criterion: with a seeded :class:`FaultPlan`
+injecting transient oracle errors — plus one process-worker kill on the
+parallel run — the xml subject's learned grammar, its
+``canonical_metrics_bytes``, and the counted ``oracle_queries`` /
+``unique_queries`` are byte-identical to a no-fault run at jobs 1 and
+jobs 4. Injected-fault counts surface in the execution record
+(telemetry) only; the kill run must additionally report at least one
+pool restart.
+
+The fault plan is seeded from the run configuration
+(:meth:`FaultPlan.sampled`), so the very indices that fail are
+byte-stable across machines and runs — chaos, but reproducible chaos.
+
+Run standalone (the CI chaos job does, with ``--json
+BENCH_faults.json``)::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py
+"""
+
+import tempfile
+import time
+
+from repro.artifacts.suite import (
+    SuiteParams,
+    SuiteResult,
+    canonical_metrics_bytes,
+)
+from repro.core.glade import GladeConfig
+from repro.core.pipeline import LearningPipeline
+from repro.evaluation.harness import derive_subject_metrics
+from repro.learning.resilience import (
+    ChaosOracle,
+    FaultPlan,
+    ResilientOracle,
+    RetryPolicy,
+)
+from repro.programs import get_subject
+
+#: Job counts compared; the parallel run uses the process backend so a
+#: worker kill is a real process death.
+JOBS = (1, 4)
+
+#: Seeded fault volume per plan (indices drawn from this window of each
+#: oracle copy's invocation counter).
+N_TRANSIENT = 6
+N_TIMEOUT = 3
+FAULT_WINDOW = 200
+FAULT_SEED = 9
+
+#: Worker-kill invocation index for the process-backend run: early, so
+#: the first worker task to reach it dies mid-phase-1.
+KILL_INDEX = 3
+
+
+def _fault_plan(kill: bool, marker_dir: str = "") -> FaultPlan:
+    return FaultPlan.sampled(
+        n_transient=N_TRANSIENT,
+        n_timeout=N_TIMEOUT,
+        window=FAULT_WINDOW,
+        seed=FAULT_SEED,
+        kill=(KILL_INDEX,) if kill else (),
+        marker_dir=marker_dir,
+    )
+
+
+def learn_xml(jobs: int, plan: FaultPlan = None):
+    """One xml learning run; faults injected when ``plan`` is given."""
+    subject = get_subject("xml")
+    oracle = subject.accepts
+    if plan is not None:
+        # The CLI's stack, minus the subprocess layer: chaos under the
+        # resilient retry layer (timeouts injected as retryable), both
+        # under the pipeline's counter and cache.
+        oracle = ResilientOracle(
+            ChaosOracle(oracle, plan),
+            RetryPolicy(base_delay=0.0),
+        )
+    config = GladeConfig(
+        alphabet=subject.alphabet,
+        jobs=jobs,
+        backend="serial" if jobs == 1 else "process",
+    )
+    pipeline = LearningPipeline(oracle, config=config)
+    started = time.perf_counter()
+    artifact = pipeline.run(subject.seeds)
+    return artifact, time.perf_counter() - started
+
+
+def _surface(artifact):
+    """The compared surface: canonical metrics bytes + grammar text."""
+    metrics, _perf = derive_subject_metrics("xml", artifact)
+    suite = SuiteResult(
+        subjects=["xml"], params=SuiteParams(), metrics={"xml": metrics}
+    )
+    return canonical_metrics_bytes(suite), str(artifact.grammar)
+
+
+def run_fault_comparison():
+    """Healthy vs fault-injected runs at each job count."""
+    rows = []
+    for jobs in JOBS:
+        kill = jobs > 1
+        marker_dir = tempfile.mkdtemp(prefix="repro-chaos-") if kill else ""
+        healthy, healthy_seconds = learn_xml(jobs)
+        faulty, faulty_seconds = learn_xml(
+            jobs, plan=_fault_plan(kill, marker_dir)
+        )
+        healthy_bytes, healthy_grammar = _surface(healthy)
+        faulty_bytes, faulty_grammar = _surface(faulty)
+        faults = (faulty.execution or {}).get("faults") or {}
+        recovery = (faulty.execution or {}).get("recovery") or {}
+        rows.append(
+            {
+                "jobs": jobs,
+                "backend": faulty.execution["backend"],
+                "kill_injected": kill,
+                "healthy_seconds": healthy_seconds,
+                "faulty_seconds": faulty_seconds,
+                "oracle_queries": healthy.oracle_queries,
+                "faulty_oracle_queries": faulty.oracle_queries,
+                "unique_queries": healthy.unique_queries,
+                "faulty_unique_queries": faulty.unique_queries,
+                "grammar_identical": faulty_grammar == healthy_grammar,
+                "metrics_bytes_identical": faulty_bytes == healthy_bytes,
+                "healthy_faults": (healthy.execution or {}).get("faults"),
+                "injected_transient": faults.get("injected.transient", 0),
+                "injected_timeout": faults.get("injected.timeout", 0),
+                "retries": faults.get("retries", 0),
+                "pool_restarts": recovery.get("pool_restarts", 0),
+                "tasks_resubmitted": recovery.get("tasks_resubmitted", 0),
+            }
+        )
+    return rows
+
+
+def fault_failures(rows):
+    """Human-readable gate violations (ideally [])."""
+    failures = []
+    for row in rows:
+        jobs = row["jobs"]
+        if not row["grammar_identical"]:
+            failures.append("grammar differs with faults at {} jobs".format(jobs))
+        if not row["metrics_bytes_identical"]:
+            failures.append(
+                "canonical_metrics_bytes differ with faults at {} "
+                "jobs".format(jobs)
+            )
+        if row["faulty_oracle_queries"] != row["oracle_queries"]:
+            failures.append(
+                "oracle_queries differ with faults at {} jobs".format(jobs)
+            )
+        if row["faulty_unique_queries"] != row["unique_queries"]:
+            failures.append(
+                "unique_queries differ with faults at {} jobs".format(jobs)
+            )
+        if row["injected_transient"] == 0:
+            failures.append(
+                "no transient faults injected at {} jobs (plan did not "
+                "fire)".format(jobs)
+            )
+        if row["healthy_faults"]:
+            failures.append(
+                "healthy run recorded fault counters at {} jobs".format(jobs)
+            )
+        if row["kill_injected"] and row["pool_restarts"] < 1:
+            failures.append(
+                "worker kill at {} jobs triggered no pool restart".format(jobs)
+            )
+    return failures
+
+
+def format_comparison(rows):
+    lines = [
+        "{:<6} {:<8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>8}".format(
+            "jobs", "backend", "healthy s", "faulty s", "injected",
+            "retries", "restarts", "drift"
+        )
+    ]
+    for row in rows:
+        lines.append(
+            "{:<6} {:<8} {:>9.3f} {:>9.3f} {:>8} {:>8} {:>9} {:>8}".format(
+                row["jobs"],
+                row["backend"],
+                row["healthy_seconds"],
+                row["faulty_seconds"],
+                row["injected_transient"] + row["injected_timeout"],
+                row["retries"],
+                row["pool_restarts"],
+                "none"
+                if row["grammar_identical"]
+                and row["metrics_bytes_identical"]
+                else "DRIFT",
+            )
+        )
+    return "\n".join(lines)
+
+
+def test_faults_leave_compared_surface_identical(once):
+    rows = once(run_fault_comparison)
+    print()
+    print(format_comparison(rows))
+    assert fault_failures(rows) == []
+    # The parallel row really exercised crash recovery.
+    assert rows[-1]["pool_restarts"] >= 1
+    assert rows[-1]["tasks_resubmitted"] >= 1
+
+
+def main(argv=None):
+    """CLI: print the comparison; ``--json PATH`` also writes the rows.
+
+    The CI chaos job runs this with ``--json BENCH_faults.json`` and
+    uploads the result, so the fault-tolerance gate is recorded per
+    commit.
+    """
+    import argparse
+    import json
+    import platform
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the benchmark rows as JSON to this path",
+    )
+    args = parser.parse_args(argv)
+    rows = run_fault_comparison()
+    print(format_comparison(rows))
+    failures = fault_failures(rows)
+    if args.json:
+        payload = {
+            "benchmark": "bench_faults",
+            "python": platform.python_version(),
+            "fault_seed": FAULT_SEED,
+            "rows": rows,
+            "identical_under_faults": not failures,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print("wrote {}".format(args.json))
+    for failure in failures:
+        print("FAIL: {}".format(failure))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

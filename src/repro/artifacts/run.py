@@ -18,6 +18,7 @@ whatever the last save recorded.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -26,6 +27,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.artifacts.schema import (
     SCHEMA_VERSION,
+    ArtifactCorrupt,
     ArtifactError,
     grammar_from_dict,
     grammar_to_dict,
@@ -319,23 +321,61 @@ def _copy_progress(progress: Dict[str, Any]) -> Dict[str, Any]:
     return copied
 
 
+def artifact_digest(data: Dict[str, Any]) -> str:
+    """Content digest of an artifact dict (integrity key excluded).
+
+    Computed over the canonical compact JSON encoding with sorted keys,
+    so the digest is byte-stable across writers; the ``integrity`` key
+    itself is excluded to avoid self-reference. A mismatch on load
+    means the file was truncated or bit-flipped after the atomic
+    rename — the checkpoint store then falls back to the previous
+    generation rather than resuming from corrupted state.
+    """
+    body = json.dumps(
+        {k: v for k, v in data.items() if k != "integrity"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return "sha256:" + hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
 def save_artifact(
     artifact: RunArtifact, path: Union[str, os.PathLike]
 ) -> None:
-    """Write an artifact as JSON, atomically (write-temp + rename)."""
+    """Write an artifact as JSON, atomically (write-temp + rename).
+
+    The payload embeds a content digest (``integrity`` key) that
+    :func:`load_artifact` verifies; pre-digest artifacts stay loadable.
+    """
     path = pathlib.Path(path)
-    payload = json.dumps(artifact.to_dict(), indent=1, sort_keys=True)
+    data = artifact.to_dict()
+    data["integrity"] = artifact_digest(data)
+    payload = json.dumps(data, indent=1, sort_keys=True)
     tmp_path = path.with_name(path.name + ".tmp")
     tmp_path.write_text(payload)
     os.replace(tmp_path, path)
 
 
 def load_artifact(path: Union[str, os.PathLike]) -> RunArtifact:
-    """Load an artifact written by :func:`save_artifact`."""
+    """Load an artifact written by :func:`save_artifact`.
+
+    Raises :class:`~repro.artifacts.schema.ArtifactCorrupt` when the
+    file's embedded content digest does not match its payload (plain
+    :class:`~repro.artifacts.schema.ArtifactError` for undecodable
+    JSON — also a corruption signal for a file this module wrote).
+    """
     try:
         data = json.loads(pathlib.Path(path).read_text())
     except json.JSONDecodeError as exc:
         raise ArtifactError(
             "artifact {} is not valid JSON: {}".format(path, exc)
         )
+    if isinstance(data, dict):
+        stored = data.pop("integrity", None)
+        if stored is not None and stored != artifact_digest(data):
+            raise ArtifactCorrupt(
+                "artifact {} failed its integrity check (stored digest "
+                "does not match content): the file was truncated or "
+                "corrupted after writing".format(path)
+            )
     return RunArtifact.from_dict(data)

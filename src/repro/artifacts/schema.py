@@ -73,6 +73,15 @@ class ArtifactError(ValueError):
     """Raised for malformed or version-incompatible artifact data."""
 
 
+class ArtifactCorrupt(ArtifactError):
+    """An artifact file failed its content-integrity check.
+
+    Distinguished from plain :class:`ArtifactError` so the checkpoint
+    store can fall back to the last-good generation on truncation or
+    bit rot, while schema/version problems still fail loudly.
+    """
+
+
 def _tag(data: Dict[str, Any], what: str) -> str:
     try:
         return data["t"]

@@ -19,6 +19,7 @@ import os
 from typing import List, Optional, Union
 
 from repro.artifacts.run import RunArtifact, load_artifact, save_artifact
+from repro.artifacts.schema import ArtifactError
 
 
 class CheckpointStore:
@@ -67,20 +68,66 @@ class MemoryCheckpointStore(CheckpointStore):
 
 
 class FileCheckpointStore(CheckpointStore):
-    """Persist checkpoints to one JSON file, atomically.
+    """Persist checkpoints to one JSON file, atomically, with a spare.
 
     Each save overwrites the file via write-to-temp + ``os.replace``,
     so a crash mid-write leaves the previous checkpoint intact rather
-    than a truncated file.
+    than a truncated file. The save also rotates the previous
+    checkpoint to ``<path>.prev`` (the *last-good generation*): every
+    artifact embeds a content digest (see
+    :func:`~repro.artifacts.run.save_artifact`), and when the current
+    file fails verification on load — truncated by a dying disk,
+    bit-flipped, hand-edited — :meth:`load` falls back to the previous
+    generation instead of refusing to resume, recording the fallback in
+    :attr:`recovered_from` so the CLI can tell the user. Resuming from
+    the previous generation merely re-runs whatever the lost save had
+    added; completed stages re-issue zero queries.
     """
 
-    def __init__(self, path: Union[str, os.PathLike]):
+    def __init__(
+        self, path: Union[str, os.PathLike], keep_previous: bool = True
+    ):
         self.path = path
+        self.keep_previous = keep_previous
+        #: Set by :meth:`load` when the current checkpoint was corrupt
+        #: and the previous generation was loaded instead.
+        self.recovered_from: Optional[str] = None
+
+    @property
+    def previous_path(self) -> str:
+        return str(self.path) + ".prev"
 
     def save(self, artifact: RunArtifact) -> None:
+        if self.keep_previous and os.path.exists(self.path):
+            # The rotation is itself atomic; a crash between the two
+            # renames leaves .prev as the newest complete checkpoint,
+            # which load() then serves.
+            os.replace(self.path, self.previous_path)
         save_artifact(artifact, self.path)
 
     def load(self) -> Optional[RunArtifact]:
-        if not os.path.exists(self.path):
-            return None
-        return load_artifact(self.path)
+        self.recovered_from = None
+        if os.path.exists(self.path):
+            try:
+                return load_artifact(self.path)
+            except ArtifactError as current_error:
+                if not (
+                    self.keep_previous
+                    and os.path.exists(self.previous_path)
+                ):
+                    raise
+                try:
+                    artifact = load_artifact(self.previous_path)
+                except ArtifactError:
+                    # Both generations bad: report the current file's
+                    # failure, which is the actionable one.
+                    raise current_error from None
+                self.recovered_from = self.previous_path
+                return artifact
+        if self.keep_previous and os.path.exists(self.previous_path):
+            # The current file vanished (crash between rotation and
+            # write): the previous generation is the newest checkpoint.
+            artifact = load_artifact(self.previous_path)
+            self.recovered_from = self.previous_path
+            return artifact
+        return None

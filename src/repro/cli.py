@@ -28,6 +28,8 @@ import pathlib
 import random
 import shlex
 import sys
+import tempfile
+from concurrent.futures import BrokenExecutor
 from typing import List, Tuple
 
 from repro.analysis.cli import add_lint_arguments, run_lint
@@ -41,6 +43,14 @@ from repro.core.glade import DEFAULT_ALPHABET, GladeConfig
 from repro.core.pipeline import LearningPipeline, SeedRejected
 from repro.languages.sampler import GrammarSampler
 from repro.learning.oracle import SubprocessOracle
+from repro.learning.resilience import (
+    TIMEOUT_VERDICTS,
+    ChaosOracle,
+    OracleFailedError,
+    ResilientOracle,
+    RetryPolicy,
+    parse_fault_spec,
+)
 
 
 def _load_seeds(args) -> List[Tuple[str, str]]:
@@ -61,13 +71,46 @@ def _load_seeds(args) -> List[Tuple[str, str]]:
     return seeds
 
 
-def _oracle_from_spec(spec: dict) -> SubprocessOracle:
-    return SubprocessOracle(
+def _oracle_from_spec(spec: dict) -> ResilientOracle:
+    """Build the CLI's oracle stack from a (persisted) oracle spec.
+
+    Stack, innermost first: the subprocess oracle, an optional chaos
+    layer (``--inject-faults``), and the resilient retry/breaker layer.
+    The pipeline adds its cache and counter *outside* this stack, so
+    retries and injected faults never change counted query totals and
+    only real verdicts are cached.
+    """
+    oracle = SubprocessOracle(
         spec["command"],
         input_mode=spec.get("input_mode", "stdin"),
         timeout_seconds=spec.get("timeout_seconds", 5.0),
         error_marker=spec.get("error_marker"),
         max_workers=spec.get("max_workers", 1),
+        timeout_verdict=spec.get("timeout_verdict", "reject"),
+    )
+    inject = spec.get("inject_faults")
+    if inject:
+        plan = parse_fault_spec(inject)
+        if plan.kill:
+            # Kill markers are per-run-process scratch state (one-shot
+            # semantics for crash recovery), not part of the artifact.
+            plan = parse_fault_spec(
+                inject,
+                marker_dir=tempfile.mkdtemp(prefix="repro-chaos-"),
+            )
+        oracle = ChaosOracle(
+            oracle,
+            plan,
+            timeout_verdict=spec.get("timeout_verdict", "reject"),
+        )
+    retries = spec.get("retries", 2)
+    return ResilientOracle(
+        oracle,
+        RetryPolicy(
+            max_attempts=retries + 1,
+            base_delay=spec.get("retry_delay", 0.05),
+            breaker_threshold=spec.get("breaker", 8),
+        ),
     )
 
 
@@ -117,6 +160,15 @@ def _cmd_learn(args, parser) -> int:
     pairs = _load_seeds(args)
     if not pairs:
         parser.error("no seeds given (use --seed/--seed-file/--seed-dir)")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.breaker < 0:
+        parser.error("--breaker must be >= 0 (0 disables the breaker)")
+    if args.inject_faults:
+        try:
+            parse_fault_spec(args.inject_faults)
+        except ValueError as exc:
+            parser.error(str(exc))
     seeds = [text for text, _source in pairs]
     sources = [source for _text, source in pairs]
     command = shlex.split(args.command)
@@ -125,7 +177,13 @@ def _cmd_learn(args, parser) -> int:
         "input_mode": "stdin",
         "timeout_seconds": args.timeout,
         "max_workers": args.workers,
+        "timeout_verdict": args.timeout_verdict,
+        "retries": args.retries,
+        "retry_delay": args.retry_delay,
+        "breaker": args.breaker,
     }
+    if args.inject_faults:
+        oracle_spec["inject_faults"] = args.inject_faults
     oracle = _oracle_from_spec(oracle_spec)
     config = GladeConfig(
         alphabet=args.alphabet,
@@ -164,7 +222,21 @@ def _cmd_learn(args, parser) -> int:
 
 
 def _cmd_resume(args, parser) -> int:
-    artifact = load_artifact(args.artifact)
+    # Loading through the store (not load_artifact directly) gets the
+    # corruption fallback: a truncated/bit-flipped checkpoint resumes
+    # from the rotated last-good generation instead of dying.
+    store = FileCheckpointStore(args.artifact)
+    artifact = store.load()
+    if artifact is None:
+        raise ArtifactError(
+            "no checkpoint found at {}".format(args.artifact)
+        )
+    if store.recovered_from:
+        print(
+            "# warning: {} failed its integrity check; resumed from "
+            "the last-good checkpoint {} (work after that save will "
+            "be redone)".format(args.artifact, store.recovered_from)
+        )
     if artifact.status == "complete":
         print("# run already complete; nothing to resume")
         _print_artifact_result(artifact)
@@ -199,7 +271,7 @@ def _cmd_resume(args, parser) -> int:
     pipeline = LearningPipeline(
         oracle,
         config=artifact.config,
-        store=FileCheckpointStore(args.artifact),
+        store=store,
         oracle_spec=artifact.oracle_spec,
     )
     artifact = pipeline.resume(artifact)
@@ -359,6 +431,39 @@ def main(argv=None) -> int:
         help="max concurrent oracle subprocesses for batched checks; "
         "the default 1 keeps the paper's short-circuit query counts, "
         "higher values trade extra queries for wall-clock",
+    )
+    learn.add_argument(
+        "--timeout-verdict", default="reject",
+        choices=list(TIMEOUT_VERDICTS),
+        help="how a per-query timeout is interpreted: 'reject' (the "
+        "paper's semantics — a hung program did not accept; default), "
+        "'retry' (classify it transient and retry with backoff), or "
+        "'error' (fail the run fast, checkpoint intact)",
+    )
+    learn.add_argument(
+        "--retries", type=int, default=2,
+        help="bounded retries per query for transient oracle errors "
+        "(spawn failures, and timeouts under --timeout-verdict retry); "
+        "deterministic attempt-indexed backoff (default 2)",
+    )
+    learn.add_argument(
+        "--retry-delay", type=float, default=0.05,
+        help="base backoff delay in seconds between retries "
+        "(exponential per attempt, capped; default 0.05)",
+    )
+    learn.add_argument(
+        "--breaker", type=int, default=8,
+        help="consecutive transient failures that open the circuit "
+        "breaker and fail the run fast with a resumable checkpoint "
+        "(default 8; 0 disables)",
+    )
+    learn.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="deterministic fault injection for testing the fault "
+        "model: semicolon-separated kind@indices groups, e.g. "
+        "'transient@3,9;timeout@5;kill@120' (kill terminates a pool "
+        "worker process at that oracle invocation; recovery resubmits "
+        "its tasks). Injected counts land in telemetry only",
     )
     learn.add_argument(
         "--jobs", type=int, default=1,
@@ -559,7 +664,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args, parser)
-    except (ArtifactError, SeedRejected, OSError) as exc:
+    except (
+        ArtifactError,
+        SeedRejected,
+        OracleFailedError,
+        BrokenExecutor,
+        OSError,
+    ) as exc:
+        # OracleFailedError / BrokenExecutor mean the infrastructure
+        # (not the input) failed terminally; with --out the run left a
+        # resumable checkpoint behind.
         print("error: {}".format(exc), file=sys.stderr)
         return 2
 

@@ -54,6 +54,7 @@ since the membership cache does not persist across restarts.
 
 from __future__ import annotations
 
+from concurrent.futures import BrokenExecutor
 from typing import Any, Dict, FrozenSet, Iterator, Optional, Sequence
 
 from repro.artifacts.run import (
@@ -86,6 +87,7 @@ from repro.learning.oracle import (
     TracingOracle,
     supports_concurrency,
 )
+from repro.learning.resilience import OracleFailedError, add_fault_counters
 from repro.obs.export import build_telemetry
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -190,6 +192,13 @@ class LearningPipeline:
             # so the merged section covers the whole run.
             registry.merge(artifact.telemetry.get("metrics"))
             tracer.graft("", artifact.telemetry.get("spans", ()))
+        # Fault/recovery counters present before this leg ran (the
+        # telemetry re-seed above can reintroduce prior legs' values);
+        # the execution record accumulates per-leg *deltas* against
+        # this baseline.
+        seeded = registry.snapshot()
+        fault_baseline = counters_with_prefix(seeded, "oracle.fault.")
+        exec_baseline = counters_with_prefix(seeded, "exec.")
         # Counter around cache: ``oracle_queries`` counts every query
         # including cache hits (the paper's metric); see core/glade.py.
         # The tracing layer sits *inside* the cache — it observes real
@@ -223,64 +232,131 @@ class LearningPipeline:
                 artifact.telemetry = build_telemetry(tracer, registry)
             self.store.save(artifact)
 
-        if not artifact.stage_done("validate"):
-            with clock.stage("validate"), tracer.span(
-                "stage:validate", cat="pipeline"
-            ):
-                for record in artifact.seeds:
-                    if record.state != SEED_PENDING:
-                        continue
-                    if not counting(record.text):
-                        raise SeedRejected(record.text, record.source)
-                    record.state = SEED_VALIDATED
-                artifact.stage = "validate"
-            checkpoint()
-
-        if not artifact.stage_done("phase1"):
-            with clock.stage("phase1"), tracer.span(
-                "stage:phase1", cat="pipeline"
-            ) as stage_span:
-                self._run_phase1(
-                    artifact, config, cached, state, checkpoint,
-                    registry, tracer, stage_span.id,
-                )
-                artifact.stage = "phase1"
+        try:
+            if not artifact.stage_done("validate"):
+                with clock.stage("validate"), tracer.span(
+                    "stage:validate", cat="pipeline"
+                ):
+                    for record in artifact.seeds:
+                        if record.state != SEED_PENDING:
+                            continue
+                        if not counting(record.text):
+                            raise SeedRejected(record.text, record.source)
+                        record.state = SEED_VALIDATED
+                    artifact.stage = "validate"
                 checkpoint()
 
-        trees = artifact.trees()
-
-        if not artifact.stage_done("translate"):
-            with clock.stage("translate"), tracer.span(
-                "stage:translate", cat="pipeline"
-            ):
-                artifact.grammar = translate_trees(trees)
-                artifact.stage = "translate"
-            checkpoint()
-
-        if not artifact.stage_done("phase2"):
-            with clock.stage("phase2"), tracer.span(
-                "stage:phase2", cat="pipeline"
-            ) as stage_span:
-                if config.enable_phase2:
-                    self._run_phase2(
-                        artifact, config, trees, cached, counting, state,
-                        checkpoint, registry, tracer, stage_span.id,
+            if not artifact.stage_done("phase1"):
+                with clock.stage("phase1"), tracer.span(
+                    "stage:phase1", cat="pipeline"
+                ) as stage_span:
+                    self._run_phase1(
+                        artifact, config, cached, state, checkpoint,
+                        registry, tracer, stage_span.id,
                     )
-                artifact.stage = "phase2"
+                    artifact.stage = "phase1"
+                    checkpoint()
+
+            trees = artifact.trees()
+
+            if not artifact.stage_done("translate"):
+                with clock.stage("translate"), tracer.span(
+                    "stage:translate", cat="pipeline"
+                ):
+                    artifact.grammar = translate_trees(trees)
+                    artifact.stage = "translate"
                 checkpoint()
 
-        if not artifact.stage_done("finalize"):
-            with clock.stage("finalize"), tracer.span(
-                "stage:finalize", cat="pipeline"
-            ):
-                artifact.grammar = artifact.grammar.restricted_to_reachable()
-                artifact.stage = "finalize"
-                artifact.status = "complete"
-            # Outside the stage block: the final save's telemetry and
-            # timings include the closed finalize span.
-            checkpoint(final=True)
+            if not artifact.stage_done("phase2"):
+                with clock.stage("phase2"), tracer.span(
+                    "stage:phase2", cat="pipeline"
+                ) as stage_span:
+                    if config.enable_phase2:
+                        self._run_phase2(
+                            artifact, config, trees, cached, counting,
+                            state, checkpoint, registry, tracer,
+                            stage_span.id,
+                        )
+                    artifact.stage = "phase2"
+                    checkpoint()
+
+            if not artifact.stage_done("finalize"):
+                with clock.stage("finalize"), tracer.span(
+                    "stage:finalize", cat="pipeline"
+                ):
+                    artifact.grammar = (
+                        artifact.grammar.restricted_to_reachable()
+                    )
+                    artifact.stage = "finalize"
+                    artifact.status = "complete"
+                # Outside the stage block: the final save's telemetry
+                # and timings include the closed finalize span.
+                self._record_fault_tolerance(
+                    artifact, counting, registry,
+                    fault_baseline, exec_baseline,
+                )
+                checkpoint(final=True)
+        except (OracleFailedError, BrokenExecutor):
+            # Terminal infrastructure failure (retries exhausted,
+            # breaker open, crash-loop past the restart budget): fail
+            # fast, but leave a resumable checkpoint — nothing learned
+            # so far is lost and no wrong verdict was recorded.
+            self._record_fault_tolerance(
+                artifact, counting, registry,
+                fault_baseline, exec_baseline,
+            )
+            checkpoint()
+            raise
 
         return artifact
+
+    def _record_fault_tolerance(
+        self,
+        artifact: RunArtifact,
+        counting: CountingOracle,
+        registry: MetricsRegistry,
+        fault_baseline: Dict[str, int],
+        exec_baseline: Dict[str, int],
+    ) -> None:
+        """Record fault/recovery counters in the execution section.
+
+        Drains the parent oracle stack's remaining fault counters into
+        the registry (worker-side deltas arrived through task telemetry
+        merges), then accumulates this leg's ``oracle.fault.*`` deltas
+        and the executors' crash-recovery counters into
+        ``artifact.execution`` — execution metadata only, never part of
+        any compared metric surface.
+        """
+        add_fault_counters(counting, registry)
+        snapshot = registry.snapshot()
+        merged = dict(artifact.execution.get("faults") or {})
+        for name, value in counters_with_prefix(
+            snapshot, "oracle.fault."
+        ).items():
+            delta = value - fault_baseline.get(name, 0)
+            if delta:
+                merged[name] = merged.get(name, 0) + delta
+        if merged:
+            artifact.execution["faults"] = merged
+        exec_counters = counters_with_prefix(snapshot, "exec.")
+        restarts = sum(
+            value - exec_baseline.get(name, 0)
+            for name, value in exec_counters.items()
+            if name.endswith(".pool_restarts")
+        )
+        resubmitted = sum(
+            value - exec_baseline.get(name, 0)
+            for name, value in exec_counters.items()
+            if name.endswith(".tasks_resubmitted")
+        )
+        recovery = dict(artifact.execution.get("recovery") or {})
+        if restarts or resubmitted or recovery:
+            artifact.execution["recovery"] = {
+                "pool_restarts": recovery.get("pool_restarts", 0)
+                + restarts,
+                "tasks_resubmitted": recovery.get("tasks_resubmitted", 0)
+                + resubmitted,
+            }
 
     # -- phase 1: seed-sharded execution ----------------------------------
 
@@ -300,10 +376,17 @@ class LearningPipeline:
         executor = make_executor(
             config.backend, max(1, config.jobs), self.oracle
         )
+        # Rebuild the execution record for this leg, but carry forward
+        # accumulated fault/recovery accounting — a resumed run keeps
+        # the failed leg's telemetry trail.
+        prior = artifact.execution or {}
         artifact.execution = {
             "backend": executor.name,
             "jobs": executor.jobs,
         }
+        for key in ("faults", "recovery"):
+            if prior.get(key):
+                artifact.execution[key] = prior[key]
         # Parent-side session: tracks kept (USED) languages for the
         # §6.1 covered-seed test. Oracle-free.
         session = MembershipSession(
@@ -363,6 +446,10 @@ class LearningPipeline:
                     )
         registry.add("exec.phase1.submitted", executor.submitted)
         registry.add("exec.phase1.completed", executor.completed)
+        registry.add("exec.phase1.pool_restarts", executor.pool_restarts)
+        registry.add(
+            "exec.phase1.tasks_resubmitted", executor.tasks_resubmitted
+        )
         registry.observe("exec.phase1.peak_in_flight", executor.peak_in_flight)
         # Matcher-tier telemetry: the parent session's counters (§6.1
         # coverage probes; on the serial path also every task's, since
@@ -541,6 +628,13 @@ class LearningPipeline:
                 )
                 registry.add("exec.phase2.submitted", executor.submitted)
                 registry.add("exec.phase2.completed", executor.completed)
+                registry.add(
+                    "exec.phase2.pool_restarts", executor.pool_restarts
+                )
+                registry.add(
+                    "exec.phase2.tasks_resubmitted",
+                    executor.tasks_resubmitted,
+                )
                 registry.observe(
                     "exec.phase2.peak_in_flight", executor.peak_in_flight
                 )

@@ -116,6 +116,24 @@ def summarize_artifact(artifact) -> str:
                     tiers.get("nfa_matches", 0),
                 )
             )
+        faults = artifact.execution.get("faults") or {}
+        if faults:
+            lines.append(
+                "fault tolerance: "
+                + ", ".join(
+                    "{} {}".format(value, name)
+                    for name, value in sorted(faults.items())
+                )
+            )
+        recovery = artifact.execution.get("recovery") or {}
+        if recovery:
+            lines.append(
+                "crash recovery: {} pool restart(s), {} task(s) "
+                "resubmitted".format(
+                    recovery.get("pool_restarts", 0),
+                    recovery.get("tasks_resubmitted", 0),
+                )
+            )
     else:
         lines.append("execution: not recorded")
     telemetry = getattr(artifact, "telemetry", None)

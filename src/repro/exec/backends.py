@@ -29,6 +29,7 @@ from __future__ import annotations
 import pickle
 from concurrent.futures import (
     FIRST_COMPLETED,
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
@@ -68,6 +69,11 @@ class Executor:
     submitted: int = 0
     completed: int = 0
     peak_in_flight: int = 0
+    #: Crash-recovery counters: pools rebuilt after a worker death and
+    #: in-flight tasks resubmitted to the rebuilt pool. Always zero for
+    #: the serial backend.
+    pool_restarts: int = 0
+    tasks_resubmitted: int = 0
 
     def unordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
@@ -107,11 +113,26 @@ class Executor:
     def close(self) -> None:
         """Release worker resources; the executor is done after this."""
 
+    def abort(self) -> None:
+        """Stop without draining queued work (the failed-run path).
+
+        Queued-but-unstarted tasks are cancelled so a run that is
+        already dead (oracle failed terminally, budget exhausted) does
+        not block behind work whose results nobody will read. The
+        default is :meth:`close`; pool backends override.
+        """
+        self.close()
+
     def __enter__(self) -> "Executor":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
+        # A with-block unwinding on an exception is a failed run:
+        # cancel queued tasks instead of draining them.
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
 
 
 class SerialExecutor(Executor):
@@ -143,7 +164,23 @@ class SerialExecutor(Executor):
 
 
 class _PoolExecutor(Executor):
-    """Shared future-driving logic for the concurrent.futures backends."""
+    """Shared future-driving logic for the concurrent.futures backends.
+
+    Both iteration methods recover from a dead worker: when a future
+    surfaces ``BrokenProcessPool``/``BrokenThreadPool`` (their common
+    base is ``BrokenExecutor``), the broken pool is replaced and every
+    task it lost — in-flight or queued — is resubmitted to the fresh
+    pool, bounded by :attr:`max_pool_restarts`. Tasks that already
+    finished keep their results, resubmitted tasks keep their original
+    indices, and the consumer merges by index as always — so a
+    mid-phase worker death changes *nothing* about the merged output
+    (grammars stay byte-identical; see ``benchmarks/bench_faults.py``).
+    """
+
+    #: Bounded pool rebuilds per executor: a crash loop (e.g. a task
+    #: that kills every worker it lands on) re-raises the original
+    #: ``BrokenExecutor`` instead of restarting forever.
+    max_pool_restarts: int = 2
 
     def __init__(self, jobs: int):
         if jobs < 1:
@@ -154,27 +191,74 @@ class _PoolExecutor(Executor):
     def _make_pool(self, jobs: int):
         raise NotImplementedError
 
+    def _restart(
+        self,
+        fn: Callable[[Any], Any],
+        entries: dict,
+        first_lost: Tuple[int, Any],
+    ) -> bool:
+        """Rebuild a broken pool and resubmit its lost tasks.
+
+        ``entries`` maps live futures to ``(index, payload)``; it is
+        rewritten in place — futures whose task died (or never started)
+        are replaced by fresh submissions to the new pool, futures that
+        already hold a real result (or a real task exception) are kept
+        so their outcome is delivered exactly once. Returns False when
+        the restart budget is exhausted (caller re-raises).
+        """
+        if self.pool_restarts >= self.max_pool_restarts:
+            return False
+        self.pool_restarts += 1
+        lost = [first_lost]
+        for future in list(entries):
+            salvageable = False
+            if future.done() and not future.cancelled():
+                exc = future.exception()
+                # A worker-raised exception that is *not* the pool
+                # breakage is a genuine task outcome: keep it and let
+                # result() re-raise it for exception-transparency.
+                salvageable = not isinstance(exc, BrokenExecutor)
+            if not salvageable:
+                lost.append(entries.pop(future))
+        broken, self._pool = self._pool, self._make_pool(self.jobs)
+        broken.shutdown(wait=False)
+        for index, payload in lost:
+            entries[self._pool.submit(fn, payload)] = (index, payload)
+        self.tasks_resubmitted += len(lost)
+        return True
+
     def unordered(
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> Iterator[Tuple[int, Any]]:
-        futures = {
-            self._pool.submit(fn, payload): index
-            for index, payload in enumerate(payloads)
-        }
-        self.submitted += len(futures)
-        pending = set(futures)
-        self.peak_in_flight = max(self.peak_in_flight, len(pending))
+        entries = {}
+        for index, payload in enumerate(payloads):
+            entries[self._pool.submit(fn, payload)] = (index, payload)
+        self.submitted += len(entries)
+        self.peak_in_flight = max(self.peak_in_flight, len(entries))
         try:
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            while entries:
+                done, _pending = wait(
+                    entries, return_when=FIRST_COMPLETED
+                )
                 for future in done:
-                    # .result() re-raises the worker's exception as-is
-                    # (the process backend reconstructs it by pickle),
-                    # preserving exception-transparency.
+                    index, payload = entries.pop(future)
+                    try:
+                        # .result() re-raises the worker's exception
+                        # as-is (the process backend reconstructs it by
+                        # pickle), preserving exception-transparency.
+                        result = future.result()
+                    except BrokenExecutor:
+                        if not self._restart(
+                            fn, entries, (index, payload)
+                        ):
+                            raise
+                        # Remaining done futures stay in ``entries``
+                        # and are re-drawn from the next wait().
+                        break
                     self.completed += 1
-                    yield futures[future], future.result()
+                    yield index, result
         finally:
-            for future in pending:
+            for future in entries:
                 future.cancel()
 
     def unordered_stream(
@@ -191,43 +275,61 @@ class _PoolExecutor(Executor):
             window = 2 * self.jobs
         window = max(1, window)
         iterator = iter(payloads)
-        futures = {}
+        entries = {}
         position = 0
         exhausted = False
 
         def top_up() -> None:
             nonlocal position, exhausted
-            while not exhausted and len(futures) < window:
+            while not exhausted and len(entries) < window:
                 try:
                     payload = next(iterator)
                 except StopIteration:
                     exhausted = True
                     break
-                futures[self._pool.submit(fn, payload)] = position
+                entries[self._pool.submit(fn, payload)] = (
+                    position,
+                    payload,
+                )
                 position += 1
                 self.submitted += 1
-                if len(futures) > self.peak_in_flight:
-                    self.peak_in_flight = len(futures)
+                if len(entries) > self.peak_in_flight:
+                    self.peak_in_flight = len(entries)
 
         try:
             while True:
                 top_up()
-                if not futures:
+                if not entries:
                     break
-                done, _pending = wait(futures, return_when=FIRST_COMPLETED)
+                done, _pending = wait(
+                    entries, return_when=FIRST_COMPLETED
+                )
                 # One result per iteration: the consumer's state must
                 # be able to influence the next submission, so already
                 # -done futures are re-drawn from ``wait`` (free) after
                 # the consumer has seen each predecessor.
                 future = done.pop()
+                index, payload = entries.pop(future)
+                try:
+                    result = future.result()
+                except BrokenExecutor:
+                    if not self._restart(fn, entries, (index, payload)):
+                        raise
+                    continue
                 self.completed += 1
-                yield futures.pop(future), future.result()
+                yield index, result
         finally:
-            for future in futures:
+            for future in entries:
                 future.cancel()
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+
+    def abort(self) -> None:
+        # cancel_futures drops queued-but-unstarted tasks; wait=False
+        # returns without blocking on tasks already running (they
+        # finish into discarded futures).
+        self._pool.shutdown(wait=False, cancel_futures=True)
 
 
 class ThreadExecutor(_PoolExecutor):

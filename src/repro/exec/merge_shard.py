@@ -47,6 +47,7 @@ from repro.core.phase2 import (
 )
 from repro.exec.backends import Executor
 from repro.learning.oracle import Oracle, TracingOracle, query_many
+from repro.learning.resilience import add_fault_counters
 from repro.obs.metrics import MetricsRegistry, histogram_total
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -164,6 +165,8 @@ def run_pair_task(payload: Dict[str, Any]) -> Dict[str, Any]:
                     if not verdict:
                         break
     registry.add("exec.phase2.tasks")
+    # Fault counters (retries, injections) travel in the task snapshot.
+    add_fault_counters(payload["oracle"], registry)
     return {
         "index": payload["index"],
         "verdicts": tuple(verdicts),

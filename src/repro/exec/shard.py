@@ -44,6 +44,7 @@ from repro.learning.oracle import (
     Oracle,
     TracingOracle,
 )
+from repro.learning.resilience import add_fault_counters
 from repro.obs.metrics import (
     MetricsRegistry,
     counters_with_prefix,
@@ -176,6 +177,10 @@ def run_seed_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         for name, value in session.tier_summary().items():
             registry.add("engine." + name, value)
     registry.add("exec.phase1.tasks")
+    # Drain the oracle stack's fault counters (retries, timeouts,
+    # injected faults) into this task's snapshot so they merge into the
+    # parent registry; drain semantics keep shared-stack counts exact.
+    add_fault_counters(payload["oracle"], registry)
     return {
         "index": index,
         "result": phase1_result_to_dict(result),

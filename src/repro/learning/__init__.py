@@ -22,23 +22,39 @@ from repro.learning.oracle import (
     regex_oracle,
     supports_concurrency,
 )
+from repro.learning.resilience import (
+    ChaosOracle,
+    FaultPlan,
+    OracleFailedError,
+    OracleTransientError,
+    ResilientOracle,
+    RetryPolicy,
+    parse_fault_spec,
+)
 from repro.learning.rpni import RPNIResult, rpni
 
 __all__ = [
     "BudgetOracle",
     "CachingOracle",
+    "ChaosOracle",
     "CountingOracle",
     "DeadlineOracle",
+    "FaultPlan",
     "LStarResult",
     "LearningTimeout",
     "Oracle",
     "OracleBudgetExceeded",
+    "OracleFailedError",
+    "OracleTransientError",
     "PerfectEquivalenceOracle",
     "RPNIResult",
+    "ResilientOracle",
+    "RetryPolicy",
     "SamplingEquivalenceOracle",
     "SubprocessOracle",
     "grammar_oracle",
     "lstar",
+    "parse_fault_spec",
     "program_oracle",
     "query_all",
     "query_many",

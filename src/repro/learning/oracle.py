@@ -378,6 +378,18 @@ class SubprocessOracle:
     keeps the stack sequential — and with it the paper's short-circuit
     query accounting; concurrency is an explicit opt-in that trades
     extra queries for wall-clock.
+
+    Failure classification (see :mod:`repro.learning.resilience`): an
+    ``OSError`` spawning the subprocess means the query was *never
+    answered* — it raises :class:`~repro.learning.resilience
+    .OracleTransientError` rather than masquerading as a rejection
+    (a cached false verdict would silently corrupt the learned
+    grammar). A timeout is genuinely ambiguous — a hung program did
+    not accept, but the machine may also just be overloaded — so its
+    interpretation is configurable via ``timeout_verdict``: ``reject``
+    (the paper's semantics, default), ``retry`` (classify transient)
+    or ``error`` (fail fast). Timeouts are counted separately either
+    way.
     """
 
     def __init__(
@@ -387,25 +399,50 @@ class SubprocessOracle:
         timeout_seconds: float = 5.0,
         error_marker: Optional[str] = None,
         max_workers: int = 1,
+        timeout_verdict: str = "reject",
     ):
+        from repro.learning.resilience import TIMEOUT_VERDICTS
+
         if input_mode not in ("stdin", "file"):
             raise ValueError("input_mode must be 'stdin' or 'file'")
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if timeout_verdict not in TIMEOUT_VERDICTS:
+            raise ValueError(
+                "timeout_verdict must be one of {}".format(
+                    ", ".join(TIMEOUT_VERDICTS)
+                )
+            )
         self.command = list(command)
         self.input_mode = input_mode
         self.timeout_seconds = timeout_seconds
         self.error_marker = error_marker
         self.max_workers = max_workers
+        self.timeout_verdict = timeout_verdict
         self._pool: Optional[ThreadPoolExecutor] = None
         # Guards lazy pool creation: the thread execution backend
         # shares one oracle object across worker threads, so two first
         # batches may race to create the pool.
         self._pool_lock = threading.Lock()
+        # Per-cause fault counters (timeouts, spawn failures), drained
+        # into telemetry by the resilience helpers; guarded because the
+        # thread backend shares one oracle object across workers.
+        self._fault_lock = threading.Lock()
+        self._faults: Dict[str, int] = {}
 
     @property
     def concurrent(self) -> bool:
         return self.max_workers > 1
+
+    def _count_fault(self, name: str) -> None:
+        with self._fault_lock:
+            self._faults[name] = self._faults.get(name, 0) + 1
+
+    def drain_faults(self) -> Dict[str, int]:
+        """Return and reset the per-cause fault counters (telemetry)."""
+        with self._fault_lock:
+            drained, self._faults = self._faults, {}
+        return drained
 
     def __call__(self, text: str) -> bool:
         command = self.command
@@ -428,8 +465,47 @@ class SubprocessOracle:
                     text=True,
                     timeout=self.timeout_seconds,
                 )
-            except (subprocess.TimeoutExpired, OSError):
-                return False
+            except subprocess.TimeoutExpired:
+                from repro.learning.resilience import (
+                    OracleFailedError,
+                    OracleTransientError,
+                )
+
+                self._count_fault("timeout")
+                if self.timeout_verdict == "reject":
+                    # The paper's semantics: a hung program did not
+                    # accept the input. Counted separately above so a
+                    # timeout-heavy run is diagnosable from telemetry.
+                    self._count_fault("timeout_reject")
+                    return False
+                if self.timeout_verdict == "error":
+                    raise OracleFailedError(
+                        "oracle command {!r} timed out after {}s "
+                        "(timeout_verdict=error)".format(
+                            self.command[0], self.timeout_seconds
+                        ),
+                        cause="timeout",
+                    ) from None
+                raise OracleTransientError(
+                    "timeout",
+                    "oracle command {!r} timed out after {}s".format(
+                        self.command[0], self.timeout_seconds
+                    ),
+                ) from None
+            except OSError as exc:
+                from repro.learning.resilience import OracleTransientError
+
+                # The subprocess never ran: no verdict exists. Raising
+                # (instead of the historical silent `return False`)
+                # keeps a fork/exec failure from being cached as a
+                # rejection and corrupting the learned grammar.
+                self._count_fault("spawn")
+                raise OracleTransientError(
+                    "spawn",
+                    "failed to run oracle command {!r}: {}".format(
+                        self.command[0], exc
+                    ),
+                ) from exc
             if completed.returncode != 0:
                 return False
             if self.error_marker is not None and (
@@ -485,8 +561,14 @@ class SubprocessOracle:
         state = self.__dict__.copy()
         state["_pool"] = None
         del state["_pool_lock"]
+        del state["_fault_lock"]
+        # Fault counters are per-process telemetry: a worker copy
+        # starts at zero and ships its own deltas back via the task
+        # telemetry snapshot.
+        state["_faults"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._pool_lock = threading.Lock()
+        self._fault_lock = threading.Lock()

@@ -1,0 +1,126 @@
+"""CLI fault-tolerance surface: --inject-faults, corrupt-resume, show."""
+
+import json
+import re
+import sys
+
+import pytest
+
+from repro.cli import main as cli_main
+
+# Accepts strings of a's — the usual tiny real-subprocess validator.
+_VALIDATOR = (
+    "import sys; text = sys.stdin.read(); "
+    "sys.exit(0 if text and set(text) <= {'a'} else 1)"
+)
+
+
+def _command():
+    return "{} -c \"{}\"".format(sys.executable, _VALIDATOR)
+
+
+def _learn(capsys, *extra):
+    code = cli_main(
+        [
+            "learn",
+            "--command", _command(),
+            "--seed", "aa",
+            "--alphabet", "ab",
+            "--samples", "0",
+            "--retry-delay", "0",
+        ]
+        + list(extra)
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    return out
+
+
+def _query_counts(out):
+    match = re.search(r"# (\d+) oracle queries \((\d+) unique\)", out)
+    assert match, out
+    return int(match.group(1)), int(match.group(2))
+
+
+def _grammar_lines(out):
+    return [
+        line for line in out.splitlines()
+        if not line.startswith("#")
+    ]
+
+
+class TestInjectFaults:
+    def test_injected_faults_leave_results_identical(self, capsys):
+        healthy = _learn(capsys)
+        faulty = _learn(capsys, "--inject-faults", "transient@2,5;timeout@9",
+                        "--timeout-verdict", "retry")
+        assert _grammar_lines(faulty) == _grammar_lines(healthy)
+        assert _query_counts(faulty) == _query_counts(healthy)
+
+    def test_bad_spec_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "learn",
+                    "--command", _command(),
+                    "--seed", "aa",
+                    "--inject-faults", "bogus@1",
+                ]
+            )
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "learn",
+                    "--command", _command(),
+                    "--seed", "aa",
+                    "--retries", "-1",
+                ]
+            )
+
+    def test_show_reports_fault_counters(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        _learn(
+            capsys,
+            "--inject-faults", "transient@2",
+            "--out", str(out_path),
+        )
+        code = cli_main(["show", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance:" in out
+        assert "injected.transient" in out
+
+    def test_fault_spec_recorded_in_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        _learn(
+            capsys,
+            "--inject-faults", "transient@2",
+            "--out", str(out_path),
+        )
+        data = json.loads(out_path.read_text())
+        assert data["oracle"]["inject_faults"] == "transient@2"
+        assert data["oracle"]["retries"] == 2
+
+
+class TestResumeCorruptCheckpoint:
+    def test_resume_recovers_with_warning(self, capsys, tmp_path):
+        out_path = tmp_path / "run.json"
+        healthy = _learn(capsys, "--out", str(out_path))
+        # Truncate the final checkpoint: the store must fall back to
+        # the rotated last-good generation and say so.
+        out_path.write_text(out_path.read_text()[:40])
+        code = cli_main(["resume", str(out_path), "--samples", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failed its integrity check" in out
+        assert "last-good checkpoint" in out
+        assert _grammar_lines(out) == _grammar_lines(healthy)
+
+    def test_resume_missing_artifact_is_clean_error(self, capsys, tmp_path):
+        code = cli_main(["resume", str(tmp_path / "nope.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no checkpoint found" in err

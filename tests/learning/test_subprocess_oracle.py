@@ -5,7 +5,11 @@ import sys
 import pytest
 
 from repro.cli import main as cli_main
-from repro.learning.oracle import SubprocessOracle
+from repro.learning.oracle import CachingOracle, SubprocessOracle
+from repro.learning.resilience import (
+    OracleFailedError,
+    OracleTransientError,
+)
 
 # A tiny validator run as a real subprocess: accepts strings of a's.
 _VALIDATOR = (
@@ -28,9 +32,75 @@ class TestSubprocessOracle:
         assert not _oracle()("abc")
         assert not _oracle()("")
 
-    def test_missing_binary_rejects(self):
+    def test_missing_binary_raises_transient(self):
+        # Historically a spawn failure was silently treated as a
+        # rejection, so a deleted/missing binary corrupted the learned
+        # grammar. It is now a classified transient error.
         oracle = SubprocessOracle(["/nonexistent/binary-xyz"])
+        with pytest.raises(OracleTransientError) as excinfo:
+            oracle("anything")
+        assert excinfo.value.cause == "spawn"
+        assert oracle.drain_faults() == {"spawn": 1}
+        assert oracle.drain_faults() == {}
+
+    def test_enoent_mid_run_never_cached_as_reject(self, tmp_path):
+        # Regression for the satellite: the oracle binary disappears
+        # between calls. The spawn failure must surface as a transient
+        # error — and a caching wrapper must not memoize a False for it.
+        body = (
+            "#!{}\n"
+            "import sys\n"
+            "sys.exit(0 if sys.stdin.read().startswith('ok') else 1)\n"
+        ).format(sys.executable)
+        script = tmp_path / "validator"
+        script.write_text(body)
+        script.chmod(0o755)
+        oracle = SubprocessOracle([str(script)])
+        cached = CachingOracle(oracle)
+        assert cached("ok")
+        script.unlink()
+        with pytest.raises(OracleTransientError) as excinfo:
+            cached("ok-again")
+        assert excinfo.value.cause == "spawn"
+        # The failed query left no cache entry: restoring the binary
+        # lets the same query succeed.
+        script.write_text(body)
+        script.chmod(0o755)
+        assert cached("ok-again")
+
+    def test_timeout_verdict_reject_counts_fault(self):
+        oracle = SubprocessOracle(
+            [sys.executable, "-c", "import time; time.sleep(30)"],
+            timeout_seconds=0.1,
+        )
         assert not oracle("anything")
+        assert oracle.drain_faults() == {
+            "timeout": 1, "timeout_reject": 1,
+        }
+
+    def test_timeout_verdict_retry_raises_transient(self):
+        oracle = SubprocessOracle(
+            [sys.executable, "-c", "import time; time.sleep(30)"],
+            timeout_seconds=0.1,
+            timeout_verdict="retry",
+        )
+        with pytest.raises(OracleTransientError) as excinfo:
+            oracle("anything")
+        assert excinfo.value.cause == "timeout"
+
+    def test_timeout_verdict_error_fails_fast(self):
+        oracle = SubprocessOracle(
+            [sys.executable, "-c", "import time; time.sleep(30)"],
+            timeout_seconds=0.1,
+            timeout_verdict="error",
+        )
+        with pytest.raises(OracleFailedError) as excinfo:
+            oracle("anything")
+        assert excinfo.value.cause == "timeout"
+
+    def test_bad_timeout_verdict_rejected(self):
+        with pytest.raises(ValueError):
+            SubprocessOracle(["true"], timeout_verdict="explode")
 
     def test_file_input_mode(self):
         script = (
